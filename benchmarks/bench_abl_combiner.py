@@ -1,0 +1,24 @@
+"""ABL-COMBINE — why the paper omitted the combiner (§3.1).
+
+"We specifically omitted partial reduce/combine because it didn't
+increase performance for our volume renderer."  The structural reason:
+within one brick each pixel emits at most one fragment, so a per-chunk
+combiner has nothing to merge.  The bench runs a real combiner through
+the functional pipeline and shows zero merges.
+"""
+
+from repro.bench import format_table
+from repro.bench.experiments import ablation_combiner
+
+
+def test_combiner_merges_nothing(run_once):
+    rows = run_once(ablation_combiner)
+    print()
+    print(format_table(rows, title="Combiner ablation (§3.1 omission)"))
+
+    with_combiner = next(r for r in rows if r["combiner"])
+    without = next(r for r in rows if not r["combiner"])
+    # The combiner found nothing to merge…
+    assert with_combiner["pairs_merged_by_combiner"] == 0
+    # …so the shuffle volume is identical with and without it.
+    assert with_combiner["pairs_shuffled"] == without["pairs_shuffled"]

@@ -1,0 +1,32 @@
+"""ABL-COMP — direct-send vs binary-swap compositing (§6).
+
+"We chose direct-send compositing because it allows an overlap of
+communication and computation, and also because it fits within the
+MapReduce model."  Binary swap's strength is bounded per-node traffic at
+large node counts; direct-send's is overlap.  The ablation quantifies
+the trade on the AC-sized machine.
+"""
+
+from repro.bench import ablation_compositing, format_table
+
+
+def test_compositing_ablation(run_once):
+    rows = run_once(ablation_compositing)
+    print()
+    print(
+        format_table(
+            rows, title="Compositing ablation: direct-send vs binary swap (s)"
+        )
+    )
+
+    # On the paper's machine sizes (≤8 nodes), direct-send should win or
+    # tie in the majority of configurations — that is why they chose it.
+    wins = sum(1 for r in rows if r["direct_wins"])
+    assert wins >= len(rows) // 2, f"direct-send won only {wins}/{len(rows)}"
+
+    # Binary swap's cost is nearly flat in GPU count (its selling point);
+    # compare the largest vs smallest GPU count for one volume.
+    v256 = [r for r in rows if r["volume"] == "256^3"]
+    swap_small = next(r for r in v256 if r["n_gpus"] == 4)["binary_swap_s"]
+    swap_big = next(r for r in v256 if r["n_gpus"] == 32)["binary_swap_s"]
+    assert swap_big < swap_small * 3

@@ -1,0 +1,39 @@
+"""ABL-FUTURE — pricing the paper's §7 future-work proposals.
+
+1. "investigating the speed tradeoffs of using asynchronous memory
+   transfers combined with manually filtering the volume samples in
+   shared memory, as opposed to ... synchronous memory transfer
+   functions and hardware filtering units";
+2. "exploring the benefits of direct access for the GPU to system
+   memory (0-copy memory) ... This remains a research topic though
+   because 0-copy memory is orders of magnitude slower than GPU VRAM."
+"""
+
+from repro.bench import format_table
+from repro.bench.experiments import ablation_future_work
+
+
+def test_future_work_tradeoffs(run_once):
+    rows = run_once(ablation_future_work)
+    print()
+    print(format_table(rows, title="§7 future-work modes (8 GPUs)"))
+
+    def total(volume, mode_prefix):
+        return next(
+            r["total_s"]
+            for r in rows
+            if r["volume"] == volume and r["mode"].startswith(mode_prefix)
+        )
+
+    # Async upload wins when texture-setup stalls dominate (small volume,
+    # tiny kernels)…
+    assert total("64^3", "async") < total("64^3", "baseline")
+    # …and loses when the kernel dominates (1024³): the 1.6x manual-
+    # filtering penalty outweighs the hidden upload.
+    assert total("1024^3", "async") > total("1024^3", "baseline")
+
+    # 0-copy is never a clear win at these fragment volumes (the paper's
+    # skepticism): it must not beat the baseline by more than noise, and
+    # it does not help the compute-bound large volume either.
+    assert total("64^3", "zero-copy") > 0.95 * total("64^3", "baseline")
+    assert total("1024^3", "zero-copy") >= total("1024^3", "baseline") * 0.98

@@ -1,0 +1,28 @@
+"""ABL-SORT — CPU vs GPU counting sort (§3.1.2).
+
+"We use a specialized counting sort on the CPU or GPU (depending on the
+amount of data)."  The GPU flavour pays PCIe round trips; the CPU
+flavour pays a slower per-key rate — the crossover sits at large
+fragment counts.
+"""
+
+from repro.bench import ablation_sort_device, format_table
+
+
+def test_sort_device_ablation(run_once):
+    rows = run_once(ablation_sort_device)
+    print()
+    print(format_table(rows, title="Sort-device ablation (512^3, 8 GPUs)"))
+
+    def sort_s(device, image):
+        return next(
+            r for r in rows if r["sort_on"] == device and r["image"] == image
+        )["sort_s"]
+
+    # At small fragment counts the CPU sort wins (no PCIe round trip).
+    assert sort_s("cpu", "256^2") < sort_s("gpu", "256^2")
+    # The GPU's advantage grows with load: its relative cost at 1024^2
+    # versus 256^2 rises far slower than the CPU's.
+    cpu_growth = sort_s("cpu", "1024^2") / sort_s("cpu", "256^2")
+    gpu_growth = sort_s("gpu", "1024^2") / sort_s("gpu", "256^2")
+    assert gpu_growth < cpu_growth

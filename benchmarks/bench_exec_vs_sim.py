@@ -1,0 +1,17 @@
+"""VALIDATE — cross-check of the two execution paths.
+
+The figure benches trust the analytic workload model; this bench runs a
+small volume both functionally and analytically and checks the fragment
+traffic (the quantity every communication cost scales with) agrees
+within a modest factor.
+"""
+
+from repro.bench import exec_vs_sim_validation, format_table
+
+
+def test_exec_vs_sim_agreement(run_once):
+    result = run_once(exec_vs_sim_validation)
+    print()
+    print(format_table([result], title="Functional vs analytic traffic"))
+    assert result["exec_fragments"] > 0
+    assert 0.4 <= result["ratio"] <= 2.5, result

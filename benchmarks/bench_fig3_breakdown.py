@@ -1,0 +1,49 @@
+"""FIG3 — Fig. 3 of the paper: stage-breakdown runtimes.
+
+Regenerates the stacked-bar data (Map, Partition+I/O, Sort, Reduce) for
+128³/256³/512³/1024³ volumes at 1–32 GPUs and checks the figure's
+claims:
+
+* ray-cast (Map) time scales down with GPU count;
+* communication grows with GPU count and eventually dominates;
+* small/medium volumes have a sweet spot around 8–16 GPUs — beyond it
+  "there is too much communication";
+* the 1024³ volume keeps improving through 32 GPUs.
+"""
+
+from collections import defaultdict
+
+from repro.bench import fig3_breakdown, format_table
+from repro.perfmodel import find_sweet_spot
+
+
+def test_fig3_stage_breakdown(run_once):
+    rows = run_once(fig3_breakdown)
+    print()
+    print(format_table(rows, title="Fig 3: runtime breakdown by stage (seconds)"))
+
+    by_volume = defaultdict(dict)
+    for r in rows:
+        by_volume[r["volume"]][r["n_gpus"]] = r
+
+    for volume, per_n in by_volume.items():
+        ns = sorted(per_n)
+        # Map stage strictly shrinks with more GPUs.
+        maps = [per_n[n]["map_s"] for n in ns]
+        assert all(a > b for a, b in zip(maps, maps[1:])), f"{volume}: map not shrinking"
+        # Communication (partition+io) grows from the sweet spot to 32 GPUs.
+        assert per_n[32]["partition_io_s"] > per_n[ns[0]]["partition_io_s"], volume
+
+    # Sweet spots: small volumes peak at 8–16 GPUs, 1024³ at 32.
+    for volume, expected in [("128^3", {8, 16}), ("256^3", {8, 16}), ("512^3", {8, 16, 32})]:
+        totals = {n: r["total_s"] for n, r in by_volume[volume].items()}
+        assert find_sweet_spot(totals) in expected, f"{volume}: {totals}"
+    totals_1024 = {n: r["total_s"] for n, r in by_volume["1024^3"].items()}
+    assert find_sweet_spot(totals_1024) == 32
+
+    # Headline claim: 1024³ renders in under a second on 8 GPUs.
+    assert by_volume["1024^3"][8]["total_s"] < 1.0
+
+    # At 32 GPUs communication dominates compute for the small volume.
+    r = by_volume["128^3"][32]
+    assert r["partition_io_s"] > r["map_s"]

@@ -1,0 +1,39 @@
+"""FIG4a — Fig. 4 (left): framerate vs GPU count per volume size.
+
+Checks the figure's shape: small volumes reach interactive-ish rates and
+plateau (communication floor); larger volumes are slower at equal GPU
+counts; FPS improves with GPUs until the sweet spot.
+"""
+
+from collections import defaultdict
+
+from repro.bench import fig4_scaling, format_table
+
+
+def test_fig4_fps(run_once):
+    rows = run_once(fig4_scaling)
+    print()
+    cols = ["volume", "n_gpus", "fps", "speedup", "efficiency"]
+    print(format_table(rows, cols, title="Fig 4 (left): framerate (frames/second)"))
+
+    by_volume = defaultdict(dict)
+    for r in rows:
+        by_volume[r["volume"]][r["n_gpus"]] = r
+
+    # Bigger volumes are slower at the same GPU count.
+    for n in (2, 8, 32):
+        fps_by_size = [by_volume[f"{s}^3"][n]["fps"] for s in (128, 256, 512, 1024)]
+        assert all(a >= b for a, b in zip(fps_by_size, fps_by_size[1:])), n
+
+    # FPS improves from 1 GPU to the sweet spot for every volume.
+    for volume, per_n in by_volume.items():
+        ns = sorted(per_n)
+        assert max(per_n[n]["fps"] for n in ns) > per_n[ns[0]]["fps"] * 1.5, volume
+
+    # Parallel efficiency decays with GPU count (never superlinear).
+    for volume, per_n in by_volume.items():
+        for n, r in per_n.items():
+            assert r["efficiency"] <= 1.05, (volume, n)
+
+    # The small volume reaches multiple frames per second at its best.
+    assert max(r["fps"] for r in by_volume["128^3"].values()) > 2.0

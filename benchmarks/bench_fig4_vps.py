@@ -1,0 +1,39 @@
+"""FIG4b — Fig. 4 (right): voxels per second (millions) vs GPU count.
+
+Checks the figure's dominant feature: VPS grows with volume size (the
+larger the volume, the better the GPUs amortise fixed costs), and the
+1024³ volume reaches the highest rate at 32 GPUs — the paper shows
+~1400 MVPS there; our simulated substrate should land within a small
+factor and preserve the ordering.
+"""
+
+from collections import defaultdict
+
+from repro.bench import fig4_scaling, format_table
+
+
+def test_fig4_vps(run_once):
+    rows = run_once(fig4_scaling)
+    print()
+    cols = ["volume", "n_gpus", "mvps"]
+    print(format_table(rows, cols, title="Fig 4 (right): voxels/second (millions)"))
+
+    by_volume = defaultdict(dict)
+    for r in rows:
+        by_volume[r["volume"]][r["n_gpus"]] = r["mvps"]
+
+    # At every GPU count, larger volumes sustain higher VPS.
+    for n in (2, 8, 32):
+        series = [by_volume[f"{s}^3"][n] for s in (128, 256, 512, 1024)]
+        assert all(a < b for a, b in zip(series, series[1:])), f"n={n}: {series}"
+
+    # The best rate overall belongs to 1024³ at 32 GPUs…
+    best = max((v, vol, n) for vol, per in by_volume.items() for n, v in per.items())
+    assert best[1] == "1024^3" and best[2] == 32
+
+    # …and lies within a small factor of the paper's ~1400 MVPS.
+    assert 700 <= best[0] <= 5600, best
+
+    # VPS of 1024³ grows monotonically with GPUs (Fig. 4's rising line).
+    series_1024 = [by_volume["1024^3"][n] for n in sorted(by_volume["1024^3"])]
+    assert all(a < b for a, b in zip(series_1024, series_1024[1:]))

@@ -1,0 +1,86 @@
+"""KERNELS — micro-benchmarks of the functional kernels.
+
+These time the *Python implementations* (useful for tracking regressions
+in this repo), not the simulated GPU — simulated stage times live in the
+figure benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import counting_sort_pairs
+from repro.render import (
+    RenderConfig,
+    composite_fragments,
+    default_tf,
+    make_fragments,
+    orbit_camera,
+    ray_box_intersect,
+    raycast_brick,
+    trilinear_sample,
+)
+from repro.volume import make_dataset
+
+VOL = make_dataset("supernova", (32, 32, 32))
+CAM = orbit_camera(VOL.shape, width=128, height=128, distance_factor=2.2)
+TF = default_tf()
+RNG = np.random.default_rng(7)
+
+
+def test_bench_raycast_kernel(benchmark):
+    cfg = RenderConfig(dt=1.0)
+    frags, stats = benchmark(
+        raycast_brick,
+        VOL.data,
+        (0, 0, 0),
+        (0, 0, 0),
+        VOL.shape,
+        VOL.shape,
+        CAM,
+        TF,
+        cfg,
+    )
+    assert stats.n_samples > 0
+
+
+def test_bench_trilinear_sample(benchmark):
+    pos = RNG.uniform(1, 31, (100_000, 3))
+    out = benchmark(trilinear_sample, VOL.data, pos)
+    assert out.shape == (100_000,)
+
+
+def test_bench_ray_box_intersect(benchmark):
+    o = RNG.uniform(-100, -50, (100_000, 3))
+    d = RNG.normal(size=(100_000, 3))
+    tn, tf_, hit = benchmark(
+        ray_box_intersect, o, d, np.zeros(3), np.full(3, 32.0)
+    )
+    assert len(tn) == 100_000
+
+
+def test_bench_counting_sort(benchmark):
+    n = 200_000
+    keys = RNG.integers(0, 128 * 128, n).astype(np.int32)
+    pairs = make_fragments(
+        keys, RNG.uniform(0, 100, n).astype(np.float32), RNG.uniform(0, 1, (n, 4)).astype(np.float32)
+    )
+    sr = benchmark(counting_sort_pairs, pairs, "pixel", 0, 128 * 128 - 1)
+    assert int(sr.counts.sum()) == n
+
+
+def test_bench_composite_fragments(benchmark):
+    n = 200_000
+    keys = RNG.integers(0, 128 * 128, n).astype(np.int32)
+    a = RNG.uniform(0, 1, n).astype(np.float32)
+    rgba = np.concatenate(
+        [RNG.uniform(0, 1, (n, 3)).astype(np.float32) * a[:, None], a[:, None]], axis=1
+    )
+    frags = make_fragments(keys, RNG.uniform(0, 100, n).astype(np.float32), rgba)
+    img = benchmark(composite_fragments, frags, 128 * 128)
+    assert img.shape == (128 * 128, 4)
+
+
+def test_bench_transfer_lookup(benchmark):
+    values = RNG.uniform(0, 1, 500_000)
+    out = benchmark(TF.lookup, values)
+    assert out.shape == (500_000, 4)

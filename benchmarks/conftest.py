@@ -1,0 +1,27 @@
+"""Shared benchmark helpers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one paper artifact (figure/table), prints it as a
+table, and asserts the paper's *qualitative shape* (who wins, where the
+crossover falls) — absolute milliseconds are simulated, not measured on
+2010 hardware.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a grid-level experiment with a single round.
+
+    Figure grids run dozens of simulated frames; default calibration
+    would repeat them hundreds of times for no statistical benefit.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Pluggability (§6.1): swap the volume-sampling and routing stages.
+
+"It is straightforward to change either the volume-sampling technique or
+the compositing technique, without changing both."  This example swaps:
+
+* the **Mapper**: ray-cast compositing → maximum-intensity projection
+  (MIP) — only the map phase and the reduce fold change, the partition,
+  sort, and shuffle machinery are untouched;
+* the **Partitioner**: per-pixel round-robin → image tiles — the image
+  is bit-identical, only fragment routing changes.
+
+Run:  python examples/pluggable_pipeline.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    MapReduceVolumeRenderer,
+    RenderConfig,
+    default_tf,
+    make_dataset,
+    orbit_camera,
+    write_ppm,
+)
+from repro.core import (
+    Chunk,
+    InProcessExecutor,
+    KVSpec,
+    MapReduceSpec,
+    RoundRobinPartitioner,
+    TiledPartitioner,
+)
+from repro.pipeline import MIP_DTYPE, MaxIntensityMapper, MaxReducer
+from repro.render import max_abs_diff
+from repro.volume import BrickGrid
+
+
+def mip_render(volume, camera, n_gpus=4):
+    """A complete MIP pipeline: only mapper + reducer differ from the
+    compositing renderer."""
+    grid = BrickGrid(volume.shape, 16, ghost=1)
+    spec = MapReduceSpec(
+        mapper=MaxIntensityMapper(camera, volume.shape, dt=0.5),
+        reducer=MaxReducer(),
+        partitioner=RoundRobinPartitioner(n_gpus),
+        kv=KVSpec(MIP_DTYPE, key_field="pixel"),
+        max_key=camera.pixel_count - 1,
+    )
+    chunks = [
+        Chunk(id=b.id, nbytes=b.nbytes, data=grid.extract(volume, b), meta=b)
+        for b in grid
+    ]
+    result = InProcessExecutor().execute(spec, chunks)
+    image = np.zeros(camera.pixel_count, dtype=np.float32)
+    for keys, values in result.outputs:
+        image[keys] = values
+    return image.reshape(camera.height, camera.width)
+
+
+def main(out_dir: str = "quickstart_output") -> None:
+    out = Path(out_dir)
+    out.mkdir(exist_ok=True)
+    volume = make_dataset("supernova", (32, 32, 32))
+    camera = orbit_camera(volume.shape, width=192, height=192)
+
+    # --- swap the sampling technique: MIP through the same library -------
+    mip = mip_render(volume, camera)
+    print(f"MIP render: max value {mip.max():.3f}, "
+          f"covered pixels {(mip > 0).mean() * 100:.1f}%")
+    # MIP ground truth: per-pixel max is order-independent, so compare
+    # against a single-brick run.
+    single = mip_render(volume, camera, n_gpus=1)
+    print(f"MIP distributed vs single-brick diff: "
+          f"{np.abs(mip - single).max():.2e} (expect ~0)")
+    rgba = np.stack([mip, mip, mip, (mip > 0).astype(np.float32)], axis=-1)
+    write_ppm(out / "supernova_mip.ppm", rgba)
+
+    # --- swap the routing: tiled partitioner, identical image -------------
+    cfg = RenderConfig(dt=0.6, ert_alpha=1.0)
+    base = MapReduceVolumeRenderer(
+        volume=volume, cluster=4, tf=default_tf(), render_config=cfg
+    ).render(camera)
+    tiled = MapReduceVolumeRenderer(
+        volume=volume,
+        cluster=4,
+        tf=default_tf(),
+        render_config=cfg,
+        partitioner_factory=lambda n: TiledPartitioner(
+            n, camera.width, camera.height, tile=32
+        ),
+    ).render(camera)
+    print(f"tiled vs round-robin image diff: "
+          f"{max_abs_diff(tiled.image, base.image):.2e} (expect 0)")
+    write_ppm(out / "supernova_composited.ppm", base.image)
+    print(f"wrote images to {out}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

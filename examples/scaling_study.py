@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the paper's evaluation at your terminal.
+
+Sweeps volume size × GPU count on the simulated Accelerator Cluster and
+prints the paper's three figures of merit (runtime breakdown, FPS, VPS),
+the per-size sweet spots, and the §6.3 compute-vs-communication split.
+
+Run:  python examples/scaling_study.py [--quick]
+"""
+
+import sys
+
+from repro.bench import (
+    fig3_breakdown,
+    fig4_scaling,
+    format_table,
+    sec63_bottleneck,
+)
+from repro.perfmodel import find_sweet_spot
+
+
+def main(quick: bool = False) -> None:
+    sizes = (128, 256) if quick else (128, 256, 512, 1024)
+    gpus = (1, 2, 8, 32) if quick else (1, 2, 4, 8, 16, 32)
+
+    rows = fig3_breakdown(sizes=sizes, gpu_counts=gpus)
+    print(format_table(rows, title="Runtime breakdown by stage (Fig. 3)"))
+    print()
+
+    # Sweet spot per volume (the paper's 'best configuration' discussion).
+    for size in sizes:
+        totals = {
+            r["n_gpus"]: r["total_s"] for r in rows if r["volume"] == f"{size}^3"
+        }
+        best = find_sweet_spot(totals)
+        print(f"{size}^3: best configuration = {best} GPUs "
+              f"({totals[best]:.3f}s per frame)")
+    print()
+
+    scaling = fig4_scaling(sizes=sizes, gpu_counts=gpus)
+    print(format_table(
+        scaling,
+        ["volume", "n_gpus", "fps", "mvps", "speedup", "efficiency"],
+        title="Framerate and voxel throughput (Fig. 4)",
+    ))
+    print()
+
+    if not quick:
+        print(format_table(
+            sec63_bottleneck(),
+            title="Compute vs communication for 1024^3 (§6.3)",
+        ))
+        print()
+        print("Note: computation stops being the bottleneck once "
+              "communication crosses it — the paper's central claim.")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517/660
+builds cannot produce editable wheels; this classic setup.py lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Multi-GPU Volume Rendering using MapReduce (Stuart et al., 2010).
+
+A full reproduction of the paper's system in pure Python/NumPy:
+
+* :mod:`repro.core` — the multi-GPU MapReduce library (Map / Partition /
+  Sort / Reduce with the paper's volume-rendering specialisations);
+* :mod:`repro.render` — the CUDA-style ray-casting kernel, transfer
+  functions, fragment compositing;
+* :mod:`repro.volume` — volumes, procedural datasets, bricking, the
+  ``.bvol`` out-of-core container;
+* :mod:`repro.sim` — the discrete-event GPU-cluster simulator standing in
+  for the NCSA Accelerator Cluster;
+* :mod:`repro.pipeline` — the end-to-end renderer
+  (:class:`~repro.pipeline.MapReduceVolumeRenderer`);
+* :mod:`repro.perfmodel` — VPS/FPS/efficiency and the §6.3 bottleneck
+  analysis;
+* :mod:`repro.baselines` — ParaView-like, Mars-like, and binary-swap
+  comparators.
+
+Quickstart::
+
+    from repro import MapReduceVolumeRenderer, make_dataset, orbit_camera
+
+    vol = make_dataset("skull", (64, 64, 64))
+    cam = orbit_camera(vol.shape, width=256, height=256)
+    result = MapReduceVolumeRenderer(volume=vol, cluster=4).render(cam)
+    # result.image is a (256, 256, 4) premultiplied RGBA array
+"""
+
+from .pipeline import MapReduceVolumeRenderer, RenderResult
+from .render import (
+    Camera,
+    RenderConfig,
+    TransferFunction1D,
+    bone_tf,
+    default_tf,
+    fire_tf,
+    grayscale_tf,
+    orbit_camera,
+    render_reference,
+    write_ppm,
+)
+from .sim import ClusterSpec, accelerator_cluster, cpu_cluster, laptop
+from .volume import BrickGrid, BvolReader, Volume, make_dataset, write_bvol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrickGrid",
+    "BvolReader",
+    "Camera",
+    "ClusterSpec",
+    "MapReduceVolumeRenderer",
+    "RenderConfig",
+    "RenderResult",
+    "TransferFunction1D",
+    "Volume",
+    "accelerator_cluster",
+    "bone_tf",
+    "cpu_cluster",
+    "default_tf",
+    "fire_tf",
+    "grayscale_tf",
+    "laptop",
+    "make_dataset",
+    "orbit_camera",
+    "render_reference",
+    "write_bvol",
+    "write_ppm",
+    "__version__",
+]

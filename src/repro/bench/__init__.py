@@ -1,0 +1,39 @@
+"""Benchmark harness: experiment grids and table reporting."""
+
+from .experiments import (
+    GPU_COUNTS,
+    PAPER_SIZES,
+    ablation_compositing,
+    ablation_partitioners,
+    ablation_reduce_device,
+    ablation_sort_device,
+    exec_vs_sim_validation,
+    fig3_breakdown,
+    fig4_scaling,
+    figure_camera,
+    micro_transfer_costs,
+    paraview_reference,
+    sec63_bottleneck,
+    sim_render,
+)
+from .reporting import format_series, format_table, print_table
+
+__all__ = [
+    "GPU_COUNTS",
+    "PAPER_SIZES",
+    "ablation_compositing",
+    "ablation_partitioners",
+    "ablation_reduce_device",
+    "ablation_sort_device",
+    "exec_vs_sim_validation",
+    "fig3_breakdown",
+    "fig4_scaling",
+    "figure_camera",
+    "format_series",
+    "format_table",
+    "micro_transfer_costs",
+    "paraview_reference",
+    "print_table",
+    "sec63_bottleneck",
+    "sim_render",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro render --dataset skull --size 48 --gpus 4 --out skull.ppm
+    python -m repro sweep --figure fig3 --sizes 128,256 --gpus 1,8,32
+    python -m repro analyze --size 1024
+    python -m repro info
+
+`render` runs the functional pipeline (small volumes); `sweep` and
+`analyze` run the simulated figure experiments at paper scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-GPU volume rendering using MapReduce (Stuart et al. 2010)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    r = sub.add_parser("render", help="render a frame through the full pipeline")
+    r.add_argument("--dataset", default="skull", choices=["skull", "supernova", "plume"])
+    r.add_argument("--size", type=int, default=48, help="cubic volume edge (voxels)")
+    r.add_argument("--gpus", type=int, default=4)
+    r.add_argument("--image", type=int, default=256, help="image edge (pixels)")
+    r.add_argument("--azimuth", type=float, default=30.0)
+    r.add_argument("--elevation", type=float, default=20.0)
+    r.add_argument("--dt", type=float, default=0.5)
+    r.add_argument("--shading", action="store_true", help="gradient Phong shading")
+    r.add_argument("--auto-tf", action="store_true", help="histogram-derived transfer function")
+    r.add_argument("--out", default="render.ppm")
+
+    s = sub.add_parser("sweep", help="regenerate a paper figure (simulated cluster)")
+    s.add_argument("--figure", default="fig3", choices=["fig3", "fig4"])
+    s.add_argument("--dataset", default="skull", choices=["skull", "supernova", "plume"])
+    s.add_argument("--sizes", type=_int_list, default=[128, 256, 512, 1024])
+    s.add_argument("--gpus", type=_int_list, default=[1, 2, 4, 8, 16, 32])
+
+    a = sub.add_parser("analyze", help="§6.3 compute-vs-communication analysis")
+    a.add_argument("--size", type=int, default=1024)
+    a.add_argument("--dataset", default="skull", choices=["skull", "supernova", "plume"])
+
+    o = sub.add_parser("rotate", help="simulate an interactive orbit (FPS report)")
+    o.add_argument("--dataset", default="skull", choices=["skull", "supernova", "plume"])
+    o.add_argument("--size", type=int, default=256)
+    o.add_argument("--gpus", type=int, default=8)
+    o.add_argument("--frames", type=int, default=8)
+    o.add_argument("--image", type=int, default=512)
+    o.add_argument("--no-resident", action="store_true",
+                   help="stream bricks every frame instead of caching them")
+
+    sub.add_parser("info", help="package / model configuration summary")
+    return p
+
+
+def _cmd_render(args) -> int:
+    from . import (
+        MapReduceVolumeRenderer,
+        RenderConfig,
+        default_tf,
+        make_dataset,
+        orbit_camera,
+        write_ppm,
+    )
+    from .volume.histogram import auto_transfer_function
+
+    volume = make_dataset(args.dataset, (args.size,) * 3)
+    tf = auto_transfer_function(volume) if args.auto_tf else default_tf()
+    camera = orbit_camera(
+        volume.shape,
+        azimuth_deg=args.azimuth,
+        elevation_deg=args.elevation,
+        width=args.image,
+        height=args.image,
+    )
+    renderer = MapReduceVolumeRenderer(
+        volume=volume,
+        cluster=args.gpus,
+        tf=tf,
+        render_config=RenderConfig(dt=args.dt, shading=args.shading),
+    )
+    result = renderer.render(camera, mode="both")
+    write_ppm(args.out, result.image)
+    sb = result.outcome.breakdown
+    print(f"rendered {args.dataset} {volume.resolution_label()} on "
+          f"{args.gpus} simulated GPUs ({result.n_bricks} bricks) -> {args.out}")
+    print(f"simulated stages: map={sb.map:.4f}s partition+io={sb.partition_io:.4f}s "
+          f"sort={sb.sort:.4f}s reduce={sb.reduce:.4f}s total={sb.total:.4f}s")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench import fig3_breakdown, fig4_scaling, format_table
+
+    if args.figure == "fig3":
+        rows = fig3_breakdown(args.dataset, args.sizes, args.gpus)
+        print(format_table(rows, title="Fig 3: runtime breakdown (seconds)"))
+    else:
+        rows = fig4_scaling(args.dataset, args.sizes, args.gpus)
+        print(format_table(rows, title="Fig 4: FPS / VPS scaling"))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .bench import format_table, sec63_bottleneck
+    from .perfmodel import CommComputeSplit, find_crossover
+
+    rows = sec63_bottleneck(args.dataset, args.size)
+    print(format_table(rows, title=f"§6.3 analysis, {args.size}^3 volume"))
+    splits = [
+        CommComputeSplit(r["n_gpus"], r["compute_s"], r["communication_s"])
+        for r in rows
+    ]
+    cross = find_crossover(splits)
+    if cross is None:
+        print("compute-bound at every measured GPU count")
+    else:
+        print(f"communication overtakes computation at {cross} GPUs")
+    return 0
+
+
+def _cmd_rotate(args) -> int:
+    from . import MapReduceVolumeRenderer, RenderConfig, default_tf
+    from .pipeline import orbit_path
+    from .volume.datasets import DATASET_FIELDS
+
+    r = MapReduceVolumeRenderer(
+        volume=None,
+        volume_shape=(args.size,) * 3,
+        field=DATASET_FIELDS[args.dataset],
+        cluster=args.gpus,
+        tf=default_tf(),
+        render_config=RenderConfig(dt=1.0),
+    )
+    cams = orbit_path((args.size,) * 3, args.frames, width=args.image, height=args.image)
+    results = r.render_sequence(cams, resident=not args.no_resident)
+    times = [res.runtime for res in results]
+    steady = times[1:] or times
+    print(f"{args.dataset} {args.size}^3 on {args.gpus} simulated GPUs, "
+          f"{args.frames}-frame orbit "
+          f"({'resident' if not args.no_resident else 'streaming'} bricks):")
+    print(f"  first frame : {times[0] * 1e3:8.1f} ms")
+    print(f"  steady frame: {sum(steady) / len(steady) * 1e3:8.1f} ms "
+          f"({len(steady) / sum(steady):.2f} FPS)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import numpy
+
+    from . import __version__
+    from .sim import CPUSpec, DiskSpec, GPUSpec, NetworkSpec, PCIeSpec
+
+    print(f"repro {__version__} (numpy {numpy.__version__})")
+    print(f"GPU model:     {GPUSpec()}")
+    print(f"CPU model:     {CPUSpec()}")
+    print(f"PCIe model:    {PCIeSpec()}")
+    print(f"Disk model:    {DiskSpec()}")
+    print(f"Network model: {NetworkSpec()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "render": _cmd_render,
+        "sweep": _cmd_sweep,
+        "analyze": _cmd_analyze,
+        "rotate": _cmd_rotate,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: a multi-GPU MapReduce library for rendering.
+
+Stages (paper §3.1): **Map** (ray-cast a chunk), **Partition** (modulo
+routing + placeholder discard), **Sort** (θ(n) counting sort), **Reduce**
+(per-key fold).  The library streams intermediate pairs between stages —
+no disk shuffle — and overlaps disk, PCIe, kernel, and network activity
+in the simulated scheduler.
+"""
+
+from .api import Combiner, Mapper, MapOutput, Partitioner, Reducer
+from .chunk import Chunk
+from .executors import InProcessExecutor, InProcessResult, SimClusterExecutor
+from .job import JobConfig, MapReduceSpec
+from .keyvalue import PLACEHOLDER, KVSpec, discard_placeholders, validate_pairs
+from .partition import (
+    BlockPartitioner,
+    CallablePartitioner,
+    RoundRobinPartitioner,
+    TiledPartitioner,
+)
+from .scheduler import MapWork, SimOutcome, run_simulated_job
+from .sort import SortResult, counting_sort_pairs, run_length_groups
+from .stats import JobStats
+from .stream import SendBuffer, split_message_sizes
+
+__all__ = [
+    "BlockPartitioner",
+    "CallablePartitioner",
+    "Chunk",
+    "Combiner",
+    "InProcessExecutor",
+    "InProcessResult",
+    "JobConfig",
+    "JobStats",
+    "KVSpec",
+    "MapOutput",
+    "MapReduceSpec",
+    "MapWork",
+    "Mapper",
+    "PLACEHOLDER",
+    "Partitioner",
+    "Reducer",
+    "RoundRobinPartitioner",
+    "SendBuffer",
+    "SimClusterExecutor",
+    "SimOutcome",
+    "SortResult",
+    "TiledPartitioner",
+    "counting_sort_pairs",
+    "discard_placeholders",
+    "run_length_groups",
+    "run_simulated_job",
+    "split_message_sizes",
+    "validate_pairs",
+]

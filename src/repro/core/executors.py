@@ -1,0 +1,138 @@
+"""Executors: where a job runs.
+
+* :class:`InProcessExecutor` — pure functional execution (no clock).  The
+  algorithmic content of the library: map → partition (placeholder
+  discard + routing) → sort (θ(n) counting sort) → reduce.  Used by
+  tests, examples, and the correctness half of every benchmark.
+* :class:`SimClusterExecutor` — timing execution on the simulated
+  cluster.  Consumes :class:`~repro.core.scheduler.MapWork` items whose
+  counters come either from functional runs or from the analytic
+  workload model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.node import ClusterRuntime, ClusterSpec
+from .chunk import Chunk
+from .job import JobConfig, MapReduceSpec
+from .keyvalue import discard_placeholders, validate_pairs
+from .scheduler import MapWork, SimOutcome, run_simulated_job
+from .sort import counting_sort_pairs
+from .stats import JobStats
+
+__all__ = ["InProcessResult", "InProcessExecutor", "SimClusterExecutor"]
+
+
+@dataclass
+class InProcessResult:
+    """Functional job output."""
+
+    outputs: list[tuple[np.ndarray, np.ndarray]]  # per reducer: (keys, values)
+    stats: JobStats
+    pairs_per_reducer: np.ndarray
+    works: list[MapWork]  # per-chunk counters, reusable by the simulator
+
+
+class InProcessExecutor:
+    """Run the full MapReduce pipeline functionally in this process."""
+
+    def __init__(self, config: JobConfig = JobConfig()):
+        self.config = config
+
+    def execute(
+        self,
+        spec: MapReduceSpec,
+        chunks: Sequence[Chunk],
+        chunk_to_gpu: Optional[Sequence[int]] = None,
+    ) -> InProcessResult:
+        """Execute ``spec`` over ``chunks``.
+
+        ``chunk_to_gpu`` (optional) records which simulated GPU each
+        chunk *would* run on, so the returned :class:`MapWork` items can
+        be replayed through :class:`SimClusterExecutor` for timing.
+        """
+        n_red = spec.n_reducers
+        spec.mapper.initialize()
+        spec.reducer.initialize()
+        stats = JobStats()
+        per_reducer: list[list[np.ndarray]] = [[] for _ in range(n_red)]
+        works: list[MapWork] = []
+
+        for ci, chunk in enumerate(chunks):
+            out = spec.mapper.map(chunk)
+            validate_pairs(out.pairs, spec.kv, spec.max_key)
+            emitted = len(out.pairs)
+            pairs = discard_placeholders(out.pairs, spec.kv)
+            if spec.combiner is not None:
+                pairs = spec.combiner.combine(pairs)
+            kept = len(pairs)
+            stats.add_map(out.work, emitted, kept)
+            dests = spec.partitioner.partition(spec.kv.keys(pairs))
+            routed = np.zeros(n_red, dtype=np.int64)
+            for r in range(n_red):
+                sel = pairs[dests == r]
+                routed[r] = len(sel)
+                if len(sel):
+                    per_reducer[r].append(sel)
+            works.append(
+                MapWork(
+                    chunk_id=chunk.id,
+                    gpu=chunk_to_gpu[ci] if chunk_to_gpu is not None else 0,
+                    upload_bytes=chunk.nbytes,
+                    n_rays=int(out.work.get("n_rays", 0)),
+                    n_samples=int(out.work.get("n_samples", 0)),
+                    pairs_emitted=emitted,
+                    pairs_to_reducer=routed,
+                    read_from_disk=chunk.on_disk,
+                )
+            )
+
+        outputs: list[tuple[np.ndarray, np.ndarray]] = []
+        pairs_per_reducer = np.zeros(n_red, dtype=np.int64)
+        for r in range(n_red):
+            if per_reducer[r]:
+                received = np.concatenate(per_reducer[r])
+            else:
+                received = spec.kv.empty()
+            pairs_per_reducer[r] = len(received)
+            sr = counting_sort_pairs(received, spec.kv.key_field, 0, spec.max_key)
+            keys, values = spec.reducer.reduce_all(sr.pairs)
+            outputs.append((keys, values))
+
+        return InProcessResult(
+            outputs=outputs,
+            stats=stats,
+            pairs_per_reducer=pairs_per_reducer,
+            works=works,
+        )
+
+
+class SimClusterExecutor:
+    """Replay :class:`MapWork` items on a simulated cluster for timing."""
+
+    def __init__(self, cluster_spec: ClusterSpec, config: JobConfig = JobConfig()):
+        self.cluster_spec = cluster_spec
+        self.config = config
+
+    def execute(
+        self,
+        works: Sequence[MapWork],
+        pair_nbytes: int,
+        owned_keys_per_reducer: Optional[np.ndarray] = None,
+    ) -> tuple[SimOutcome, ClusterRuntime]:
+        """Run the timing simulation; returns the outcome and the runtime
+        (whose trace callers can inspect for Gantt-level detail)."""
+        cluster = ClusterRuntime(self.cluster_spec)
+        outcome = run_simulated_job(
+            cluster,
+            list(works),
+            pair_nbytes=pair_nbytes,
+            config=self.config,
+            owned_keys_per_reducer=owned_keys_per_reducer,
+        )
+        return outcome, cluster

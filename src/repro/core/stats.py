@@ -1,0 +1,57 @@
+"""Aggregate job statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.trace import StageBreakdown
+
+__all__ = ["JobStats"]
+
+
+@dataclass
+class JobStats:
+    """Work and traffic counters for one MapReduce job."""
+
+    n_chunks: int = 0
+    n_rays: int = 0
+    n_samples: int = 0
+    n_pairs_emitted: int = 0  # including placeholders
+    n_pairs_kept: int = 0  # after placeholder discard
+    bytes_uploaded: int = 0  # H2D chunk payloads
+    bytes_downloaded: int = 0  # D2H emitted pairs
+    bytes_internode: int = 0  # NIC traffic
+    bytes_intranode: int = 0  # local memcpy traffic
+    n_messages: int = 0
+    breakdown: Optional[StageBreakdown] = None
+
+    def add_map(self, work: dict[str, int], emitted: int, kept: int) -> None:
+        self.n_chunks += 1
+        self.n_rays += int(work.get("n_rays", 0))
+        self.n_samples += int(work.get("n_samples", 0))
+        self.n_pairs_emitted += emitted
+        self.n_pairs_kept += kept
+
+    @property
+    def discard_fraction(self) -> float:
+        if self.n_pairs_emitted == 0:
+            return 0.0
+        return 1.0 - self.n_pairs_kept / self.n_pairs_emitted
+
+    def as_dict(self) -> dict:
+        out = {
+            "n_chunks": self.n_chunks,
+            "n_rays": self.n_rays,
+            "n_samples": self.n_samples,
+            "n_pairs_emitted": self.n_pairs_emitted,
+            "n_pairs_kept": self.n_pairs_kept,
+            "bytes_uploaded": self.bytes_uploaded,
+            "bytes_downloaded": self.bytes_downloaded,
+            "bytes_internode": self.bytes_internode,
+            "bytes_intranode": self.bytes_intranode,
+            "n_messages": self.n_messages,
+        }
+        if self.breakdown is not None:
+            out["stage_breakdown"] = self.breakdown.as_dict()
+        return out

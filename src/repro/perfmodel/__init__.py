@@ -1,0 +1,32 @@
+"""Performance analysis: figures of merit and the §6.3 bottleneck study."""
+
+from .bottleneck import (
+    CommComputeSplit,
+    compute_vs_communication,
+    find_crossover,
+    find_sweet_spot,
+)
+from .efficiency import (
+    ScalingPoint,
+    fps,
+    parallel_efficiency,
+    scaling_series,
+    speedup,
+    voxels_per_second,
+)
+from .peaks import StagePeaks, speed_of_light
+
+__all__ = [
+    "CommComputeSplit",
+    "ScalingPoint",
+    "StagePeaks",
+    "compute_vs_communication",
+    "find_crossover",
+    "find_sweet_spot",
+    "fps",
+    "parallel_efficiency",
+    "scaling_series",
+    "speed_of_light",
+    "speedup",
+    "voxels_per_second",
+]

@@ -1,0 +1,95 @@
+"""Figures of merit (paper §4.2): VPS, runtime/FPS, parallel efficiency.
+
+"Voxels per second is an important figure ... Runtime is just as
+important ... Finally, parallel efficiency is important because it shows
+the true scalability of the system."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "fps",
+    "voxels_per_second",
+    "speedup",
+    "parallel_efficiency",
+    "ScalingPoint",
+    "scaling_series",
+]
+
+
+def fps(runtime_seconds: float) -> float:
+    """Frames per second for a single-frame runtime."""
+    if runtime_seconds <= 0:
+        raise ValueError("runtime must be positive")
+    return 1.0 / runtime_seconds
+
+
+def voxels_per_second(voxel_count: int, runtime_seconds: float) -> float:
+    """The paper's VPS metric: volume voxels / frame runtime."""
+    if runtime_seconds <= 0:
+        raise ValueError("runtime must be positive")
+    if voxel_count < 0:
+        raise ValueError("voxel count must be non-negative")
+    return voxel_count / runtime_seconds
+
+
+def speedup(t_base: float, t_n: float) -> float:
+    """Speedup of a run against a baseline runtime."""
+    if t_base <= 0 or t_n <= 0:
+        raise ValueError("runtimes must be positive")
+    return t_base / t_n
+
+
+def parallel_efficiency(t_base: float, t_n: float, n: int, n_base: int = 1) -> float:
+    """Efficiency = speedup / (resource ratio)."""
+    if n < n_base or n_base < 1:
+        raise ValueError("need n >= n_base >= 1")
+    return speedup(t_base, t_n) / (n / n_base)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling sweep."""
+
+    n_gpus: int
+    runtime: float
+    voxel_count: int
+
+    @property
+    def fps(self) -> float:
+        return fps(self.runtime)
+
+    @property
+    def vps(self) -> float:
+        return voxels_per_second(self.voxel_count, self.runtime)
+
+    @property
+    def mvps(self) -> float:
+        """Millions of voxels per second (the paper's Fig. 4 unit)."""
+        return self.vps / 1e6
+
+
+def scaling_series(points: Sequence[ScalingPoint]) -> list[dict]:
+    """Annotate a sweep with speedup/efficiency against its smallest run."""
+    if not points:
+        return []
+    pts = sorted(points, key=lambda p: p.n_gpus)
+    base = pts[0]
+    out = []
+    for p in pts:
+        out.append(
+            {
+                "n_gpus": p.n_gpus,
+                "runtime": p.runtime,
+                "fps": p.fps,
+                "mvps": p.mvps,
+                "speedup": speedup(base.runtime, p.runtime),
+                "efficiency": parallel_efficiency(
+                    base.runtime, p.runtime, p.n_gpus, base.n_gpus
+                ),
+            }
+        )
+    return out

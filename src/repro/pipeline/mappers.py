@@ -1,0 +1,158 @@
+"""Map-phase implementations.
+
+:class:`RayCastMapper` is the paper's mapper: one ray-cast kernel per
+chunk (brick).  :class:`MaxIntensityMapper` demonstrates the library's
+pluggability claim (§6.1): swapping the volume-sampling technique
+touches *only* the map phase — partitioning, sort, and the reduce shape
+stay identical (MIP reduces with ``max`` instead of ``over``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.api import Mapper, MapOutput
+from ..core.chunk import Chunk
+from ..render.camera import Camera
+from ..render.fragments import FRAGMENT_DTYPE, PLACEHOLDER_KEY, make_fragments
+from ..render.geometry import box_contains, ray_box_intersect
+from ..render.raycast import RenderConfig, raycast_brick, trilinear_sample
+from ..render.transfer import TransferFunction1D
+
+__all__ = ["RayCastMapper", "MaxIntensityMapper", "MIP_DTYPE"]
+
+
+class RayCastMapper(Mapper):
+    """The paper's map task: partial ray casting against one brick.
+
+    The chunk's ``meta`` must be a :class:`~repro.volume.bricking.Brick`;
+    its payload is the ghost-padded voxel block.
+    """
+
+    def __init__(
+        self,
+        camera: Camera,
+        tf: TransferFunction1D,
+        volume_shape: tuple[int, int, int],
+        config: RenderConfig = RenderConfig(),
+    ):
+        self.camera = camera
+        self.tf = tf
+        self.volume_shape = tuple(volume_shape)
+        self.config = config
+        self._initialized = False
+
+    def initialize(self, device=None) -> None:
+        """Upload-once static state (view matrix, transfer-function texture)."""
+        self._initialized = True
+
+    def static_device_bytes(self) -> int:
+        # View parameters + the 1D transfer-function texture.
+        return 256 + self.tf.nbytes
+
+    def map(self, chunk: Chunk) -> MapOutput:
+        brick = chunk.meta
+        if brick is None:
+            raise ValueError(f"chunk {chunk.id} lacks Brick metadata")
+        fragments, stats = raycast_brick(
+            data=chunk.payload(),
+            data_lo=brick.data_lo,
+            core_lo=brick.lo,
+            core_hi=brick.hi,
+            volume_shape=self.volume_shape,
+            camera=self.camera,
+            tf=self.tf,
+            config=self.config,
+        )
+        pairs = fragments.copy()
+        # The renderer's fragment dtype doubles as the library KV dtype;
+        # 'pixel' is the int32 key field.
+        return MapOutput(
+            pairs,
+            work={
+                "n_rays": stats.n_rays,
+                "n_samples": stats.n_samples,
+                "n_active_rays": stats.n_active_rays,
+                "n_emitted": stats.n_emitted if self.config.emit_placeholders else stats.n_rays,
+            },
+        )
+
+
+#: MIP pairs: key + (value, depth placeholder) — homogeneous 12-byte pairs.
+MIP_DTYPE = np.dtype([("pixel", np.int32), ("value", np.float32)])
+
+
+class MaxIntensityMapper(Mapper):
+    """Maximum-intensity projection: per-brick max along each ray.
+
+    MIP's fold (``max``) is associative and commutative, so unlike the
+    over operator it needs no depth sorting at all — a nice stress of the
+    library's generality.
+    """
+
+    def __init__(
+        self,
+        camera: Camera,
+        volume_shape: tuple[int, int, int],
+        dt: float = 0.5,
+    ):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.camera = camera
+        self.volume_shape = tuple(volume_shape)
+        self.dt = dt
+
+    def map(self, chunk: Chunk) -> MapOutput:
+        brick = chunk.meta
+        data = chunk.payload()
+        core_lo = np.asarray(brick.lo, np.float64)
+        core_hi = np.asarray(brick.hi, np.float64)
+        corners = np.array(
+            [
+                [
+                    (core_lo[0], core_hi[0])[(c >> 0) & 1],
+                    (core_lo[1], core_hi[1])[(c >> 1) & 1],
+                    (core_lo[2], core_hi[2])[(c >> 2) & 1],
+                ]
+                for c in range(8)
+            ]
+        )
+        rect = self.camera.brick_rect(corners)
+        if rect.empty:
+            return MapOutput(np.empty(0, MIP_DTYPE), work={"n_rays": 0, "n_samples": 0})
+        origins, dirs, keys = self.camera.rays_for_rect(rect)
+        tn, tf_, hit = ray_box_intersect(origins, dirs, core_lo, core_hi)
+        vol_hi = np.asarray(self.volume_shape, np.float64)
+        tv, _, hitv = ray_box_intersect(origins, dirs, np.zeros(3), vol_hi)
+        active = hit & hitv
+        best = np.full(len(keys), -np.inf, dtype=np.float32)
+        n_samples = 0
+        if np.any(active):
+            idx = np.nonzero(active)[0]
+            k0 = np.maximum(np.floor((tn[idx] - tv[idx]) / self.dt - 1), 0).astype(int)
+            k1 = np.ceil((tf_[idx] - tv[idx]) / self.dt + 1).astype(int)
+            for k in range(int(k0.min()), int(k1.max()) + 1):
+                live = (k0 <= k) & (k <= k1)
+                if not live.any():
+                    continue
+                li = idx[live]
+                t = tv[li] + (k + 0.5) * self.dt
+                p = origins[li] + t[:, None] * dirs[li]
+                owned = box_contains(p, core_lo, core_hi)
+                if owned.any():
+                    oi = li[owned]
+                    local = p[owned] - np.asarray(brick.data_lo, np.float64)
+                    v = trilinear_sample(data, local)
+                    n_samples += len(oi)
+                    np.maximum.at(best, oi, v.astype(np.float32))
+        got = np.isfinite(best) & (best > 0)
+        pairs = np.empty(int(got.sum()), MIP_DTYPE)
+        pairs["pixel"] = keys[got]
+        pairs["value"] = best[got]
+        return MapOutput(
+            pairs,
+            work={"n_rays": len(keys), "n_samples": n_samples},
+        )

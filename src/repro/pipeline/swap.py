@@ -1,0 +1,155 @@
+"""Sort-last ("swap") rendering mode — the §6.1 modularity claim.
+
+"Swap compositing can be implemented by changing the partitioning on
+each node.  Every node would consume all generated ray fragments to
+create its partial image.  The reduction phase would then be changed to
+perform swap compositing."
+
+This module does exactly that with the same building blocks:
+
+* bricks are assigned to GPUs as **view-ordered slabs** of the brick
+  grid (object-space decomposition), so each GPU's content occupies a
+  contiguous depth range per pixel;
+* the *partition* stage becomes :class:`LocalPartitioner` — every
+  fragment stays with the GPU that produced it;
+* each GPU's reduce composites its own fragments into a full-viewport
+  partial image;
+* the partial images merge front-to-back with
+  :func:`~repro.baselines.binary_swap.swap_partial_images`.
+
+Correctness requires the slab visibility order to be per-pixel constant,
+which holds when the camera eye lies outside the volume's extent along
+the slab axis — checked at render time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.binary_swap import swap_partial_images
+from ..core.api import Partitioner
+from ..render.camera import Camera
+from ..render.compositing import composite_fragments
+from ..render.raycast import RenderConfig, raycast_brick
+from ..render.transfer import TransferFunction1D
+from ..volume.bricking import BrickGrid
+from ..volume.volume import Volume
+
+__all__ = ["LocalPartitioner", "slab_assignment", "render_swap"]
+
+
+class LocalPartitioner(Partitioner):
+    """Keeps every fragment on its producing GPU (no shuffle).
+
+    The "partition" is decided per map task, not per key, so the
+    constructor pins a destination and the mapper driving it swaps the
+    pin per chunk.
+    """
+
+    def __init__(self, n_reducers: int, owner: int = 0):
+        super().__init__(n_reducers)
+        if not 0 <= owner < n_reducers:
+            raise ValueError(f"owner {owner} out of range")
+        self.owner = owner
+
+    def partition(self, keys: np.ndarray) -> np.ndarray:
+        return np.full(len(np.asarray(keys)), self.owner, dtype=np.int32)
+
+
+def slab_assignment(
+    grid: BrickGrid, camera: Camera, n_gpus: int
+) -> tuple[list[list[int]], int]:
+    """Assign bricks to GPUs as contiguous view-ordered slabs.
+
+    Returns ``(slabs, axis)`` where ``slabs[g]`` lists the brick ids for
+    GPU ``g``, ordered front-to-back across GPUs along the dominant view
+    ``axis``.  Raises when the eye is inside the volume's slab extent
+    (no constant visibility order exists for a slab decomposition).
+    """
+    if n_gpus < 1:
+        raise ValueError("need at least one GPU")
+    _, _, fwd = camera.basis
+    axis = int(np.argmax(np.abs(fwd)))
+    eye = np.asarray(camera.eye, dtype=np.float64)
+    extent = grid.volume_shape[axis]
+    if 0.0 < eye[axis] < extent:
+        raise ValueError(
+            "camera eye lies inside the volume along the slab axis; "
+            "slab visibility order is undefined"
+        )
+    n_slices = grid.counts[axis]
+    # Front-to-back slice order along the axis.
+    towards_positive = eye[axis] <= 0.0
+    slice_order = range(n_slices) if towards_positive else range(n_slices - 1, -1, -1)
+    # Group brick-grid slices into n_gpus contiguous runs.
+    slices = list(slice_order)
+    groups: list[list[int]] = [[] for _ in range(n_gpus)]
+    for i, s in enumerate(slices):
+        groups[min(i * n_gpus // len(slices), n_gpus - 1)].append(s)
+    slabs: list[list[int]] = [[] for _ in range(n_gpus)]
+    for g, slice_ids in enumerate(groups):
+        for b in grid:
+            if b.index[axis] in slice_ids:
+                slabs[g].append(b.id)
+    return slabs, axis
+
+
+@dataclass
+class SwapRenderResult:
+    """Output of a sort-last render."""
+
+    image: np.ndarray
+    partial_images: list[np.ndarray]
+    fragments_per_gpu: list[int]
+    axis: int
+
+
+def render_swap(
+    volume: Volume,
+    camera: Camera,
+    tf: TransferFunction1D,
+    n_gpus: int,
+    config: RenderConfig = RenderConfig(),
+    grid: BrickGrid | None = None,
+) -> SwapRenderResult:
+    """Functional sort-last render: local compositing + swap merge.
+
+    Produces the same image as the sort-first (direct-send) pipeline —
+    the associativity of premultiplied *over* guarantees it, because the
+    slab assignment keeps each GPU's fragments in a disjoint per-pixel
+    depth range.
+    """
+    grid = grid or BrickGrid(volume.shape, max(min(volume.shape) // 2, 4), ghost=1)
+    slabs, axis = slab_assignment(grid, camera, n_gpus)
+    partials: list[np.ndarray] = []
+    frag_counts: list[int] = []
+    for brick_ids in slabs:
+        parts = []
+        for bid in brick_ids:
+            b = grid.brick(bid)
+            frags, _ = raycast_brick(
+                data=grid.extract(volume, b),
+                data_lo=b.data_lo,
+                core_lo=b.lo,
+                core_hi=b.hi,
+                volume_shape=volume.shape,
+                camera=camera,
+                tf=tf,
+                config=config,
+            )
+            parts.append(frags)
+        frag_counts.append(sum(len(p) for p in parts))
+        if frag_counts[-1] > 0:
+            flat = composite_fragments(np.concatenate(parts), camera.pixel_count)
+        else:
+            flat = np.zeros((camera.pixel_count, 4), dtype=np.float32)
+        partials.append(flat.reshape(camera.height, camera.width, 4))
+    image = swap_partial_images(partials)
+    return SwapRenderResult(
+        image=image,
+        partial_images=partials,
+        fragments_per_gpu=frag_counts,
+        axis=axis,
+    )

@@ -1,0 +1,101 @@
+"""Ray fragments — the intermediate key-value pairs of the pipeline.
+
+A fragment is the paper's emitted pair: **key** = 4-byte pixel index
+(``y*width + x``), **value** = a fixed-size record ``(depth, r, g, b, a)``
+holding the partial colour a ray accumulated inside one brick.  All
+values are homogeneous 20-byte payloads (paper restriction #3); with the
+key the wire size is 24 bytes per fragment.
+
+Colour is stored *premultiplied by alpha*, which makes the front-to-back
+over operator associative — the property that lets per-brick partial
+rays composite in depth order to the exact single-pass result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FRAGMENT_DTYPE",
+    "FRAGMENT_NBYTES",
+    "PLACEHOLDER_KEY",
+    "make_fragments",
+    "concat_fragments",
+    "empty_fragments",
+    "drop_placeholders",
+    "fragment_sort_order",
+    "rgba_view",
+]
+
+#: One emitted key-value pair: int32 key + 20-byte homogeneous value.
+FRAGMENT_DTYPE = np.dtype(
+    [
+        ("pixel", np.int32),
+        ("depth", np.float32),
+        ("r", np.float32),
+        ("g", np.float32),
+        ("b", np.float32),
+        ("a", np.float32),
+    ]
+)
+
+FRAGMENT_NBYTES = FRAGMENT_DTYPE.itemsize  # 24
+
+#: "If the thread computes a useless key-value pair, the kernel emits a
+#: later-discarded place holder."  We use key −1.
+PLACEHOLDER_KEY = np.int32(-1)
+
+
+def empty_fragments() -> np.ndarray:
+    return np.empty(0, dtype=FRAGMENT_DTYPE)
+
+
+def make_fragments(
+    pixel: np.ndarray, depth: np.ndarray, rgba: np.ndarray
+) -> np.ndarray:
+    """Pack parallel arrays into a fragment record array."""
+    pixel = np.asarray(pixel)
+    depth = np.asarray(depth)
+    rgba = np.asarray(rgba)
+    n = len(pixel)
+    if depth.shape != (n,) or rgba.shape != (n, 4):
+        raise ValueError(
+            f"shape mismatch: pixel {pixel.shape}, depth {depth.shape}, rgba {rgba.shape}"
+        )
+    out = np.empty(n, dtype=FRAGMENT_DTYPE)
+    out["pixel"] = pixel
+    out["depth"] = depth
+    out["r"] = rgba[:, 0]
+    out["g"] = rgba[:, 1]
+    out["b"] = rgba[:, 2]
+    out["a"] = rgba[:, 3]
+    return out
+
+
+def concat_fragments(parts: list[np.ndarray]) -> np.ndarray:
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return empty_fragments()
+    return np.concatenate(parts)
+
+
+def drop_placeholders(fragments: np.ndarray) -> np.ndarray:
+    """Discard placeholder emissions (done at Partition in the paper)."""
+    return fragments[fragments["pixel"] != PLACEHOLDER_KEY]
+
+
+def fragment_sort_order(fragments: np.ndarray) -> np.ndarray:
+    """Indices sorting fragments by (pixel, depth) ascending.
+
+    This is the canonical compositing order: group per pixel, front to
+    back.  Uses a stable lexsort so equal-depth fragments keep arrival
+    order (deterministic output).
+    """
+    return np.lexsort((fragments["depth"], fragments["pixel"]))
+
+
+def rgba_view(fragments: np.ndarray) -> np.ndarray:
+    """(N, 4) float32 copy of the colour fields."""
+    return np.stack(
+        [fragments["r"], fragments["g"], fragments["b"], fragments["a"]], axis=1
+    )

@@ -1,0 +1,83 @@
+"""Ray/box geometry.
+
+Everything is vectorised over rays: the ray-cast "kernel" processes one
+brick's whole pixel footprint as NumPy arrays, which is the CPU analogue
+of the paper's 16×16-thread CUDA blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ray_box_intersect", "box_contains"]
+
+
+def ray_box_intersect(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    box_lo: np.ndarray,
+    box_hi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Slab-method intersection of N rays with one AABB.
+
+    Parameters
+    ----------
+    origins, directions:
+        ``(N, 3)`` ray origins and (not necessarily unit) directions.
+    box_lo, box_hi:
+        ``(3,)`` box corners, ``lo < hi`` componentwise.
+
+    Returns
+    -------
+    (t_near, t_far, hit):
+        Entry/exit parameters and a boolean hit mask.  ``t_near`` is
+        clamped to 0 so rays starting inside the box enter at t=0.  All
+        rays the paper's kernel would "immediately discard" have
+        ``hit=False``.
+    """
+    origins = np.asarray(origins, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    if origins.ndim != 2 or origins.shape[1] != 3:
+        raise ValueError(f"origins must be (N,3), got {origins.shape}")
+    if directions.shape != origins.shape:
+        raise ValueError("origins/directions shape mismatch")
+    box_lo = np.asarray(box_lo, dtype=np.float64)
+    box_hi = np.asarray(box_hi, dtype=np.float64)
+    if np.any(box_hi <= box_lo):
+        raise ValueError(f"degenerate box {box_lo}..{box_hi}")
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        inv = 1.0 / directions
+        t1 = (box_lo[None, :] - origins) * inv
+        t2 = (box_hi[None, :] - origins) * inv
+    t_lo = np.minimum(t1, t2)
+    t_hi = np.maximum(t1, t2)
+    # Where a direction component is 0, the ray is parallel to that slab:
+    # inside → (-inf, +inf), outside → empty interval.  Applied after the
+    # min/max so the empty interval (+inf, -inf) is not re-ordered, and so
+    # 0·inf NaNs from origins on a slab face are overwritten.
+    parallel = directions == 0.0
+    if np.any(parallel):
+        inside = (origins >= box_lo[None, :]) & (origins <= box_hi[None, :])
+        t_lo = np.where(parallel, np.where(inside, -np.inf, np.inf), t_lo)
+        t_hi = np.where(parallel, np.where(inside, np.inf, -np.inf), t_hi)
+    t_near = t_lo.max(axis=1)
+    t_far = t_hi.min(axis=1)
+    hit = (t_far >= t_near) & (t_far >= 0.0)
+    t_near = np.maximum(t_near, 0.0)
+    return t_near, t_far, hit
+
+
+def box_contains(
+    points: np.ndarray, box_lo: np.ndarray, box_hi: np.ndarray
+) -> np.ndarray:
+    """Half-open containment test ``lo ≤ p < hi``, vectorised over points.
+
+    The half-open convention is what makes brick cores partition the
+    volume exactly: a sample landing on a shared face belongs to exactly
+    one brick.
+    """
+    points = np.asarray(points)
+    lo = np.asarray(box_lo)
+    hi = np.asarray(box_hi)
+    return np.all((points >= lo) & (points < hi), axis=-1)

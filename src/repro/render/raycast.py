@@ -1,0 +1,261 @@
+"""The ray-casting map kernel.
+
+This is the functional equivalent of the paper's CUDA kernel (§3.2):
+
+* rays are generated for the (block-padded) sub-image the chunk projects
+  onto — one "thread" per pixel;
+* all rays are intersected against the brick's bounding box and
+  non-intersecting rays are immediately discarded;
+* surviving rays advance with **fixed increments** and non-adaptive
+  **trilinear** sampling, apply the 1-D transfer function per sample, and
+  accumulate **front-to-back** with early ray termination;
+* each ray emits one fragment (key = pixel index, value = depth +
+  premultiplied RGBA); useless rays emit a placeholder.
+
+Global-t sampling
+-----------------
+Sample positions are ``t_k = t_volume_entry + (k + ½)·dt`` where
+``t_volume_entry`` is the ray's entry into the *full volume* box — a
+quantity every brick computes identically.  A sample is *owned* by the
+brick whose half-open core contains it.  Owned samples therefore
+partition each ray exactly, so compositing the per-brick fragments in
+depth order reproduces the single-pass image bit-for-bit (up to float
+associativity).  This is the invariant the whole MapReduce pipeline is
+tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from .camera import Camera, PixelRect
+from .fragments import (
+    FRAGMENT_DTYPE,
+    PLACEHOLDER_KEY,
+    empty_fragments,
+    make_fragments,
+)
+from .geometry import box_contains, ray_box_intersect
+from .transfer import TransferFunction1D, opacity_correction
+
+__all__ = ["RenderConfig", "MapStats", "raycast_brick", "trilinear_sample"]
+
+
+@dataclass(frozen=True)
+class RenderConfig:
+    """Knobs of the ray-cast kernel.
+
+    ``dt`` is the fixed step in voxel units.  ``ert_alpha`` is the early
+    ray-termination threshold applied to the alpha accumulated *within
+    the current brick* (a distributed renderer cannot see upstream
+    bricks' opacity); set it to 1.0 to disable termination, which makes
+    the bricked render exactly equal to the reference.  ``alpha_eps``
+    controls fragment discard — fragments with accumulated alpha at or
+    below it carry no visible contribution and are dropped, exactly the
+    paper's "ray fragments with no contributions are discarded".
+    """
+
+    dt: float = 0.5
+    ert_alpha: float = 0.98
+    alpha_eps: float = 0.0
+    pad_to_block: bool = True
+    emit_placeholders: bool = False
+    shading: bool = False  # Levoy-style gradient Phong shading
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if not 0 < self.ert_alpha <= 1.0:
+            raise ValueError("ert_alpha must be in (0, 1]")
+        if self.alpha_eps < 0:
+            raise ValueError("alpha_eps must be non-negative")
+
+    @property
+    def fetches_per_sample(self) -> int:
+        """Texture fetches per sample point (drives the GPU cost model):
+        1 for the scalar, plus 6 for the central-difference gradient."""
+        return 7 if self.shading else 1
+
+
+@dataclass
+class MapStats:
+    """Work counters of one kernel execution (drive the cost models)."""
+
+    n_rays: int = 0  # padded thread count launched
+    n_active_rays: int = 0  # rays that hit the brick box
+    n_samples: int = 0  # trilinear samples taken
+    n_emitted: int = 0  # key-value pairs written (incl. placeholders)
+    n_kept: int = 0  # fragments surviving the contribution discard
+
+    def merge(self, other: "MapStats") -> "MapStats":
+        return MapStats(
+            self.n_rays + other.n_rays,
+            self.n_active_rays + other.n_active_rays,
+            self.n_samples + other.n_samples,
+            self.n_emitted + other.n_emitted,
+            self.n_kept + other.n_kept,
+        )
+
+
+def trilinear_sample(data: np.ndarray, local_pos: np.ndarray) -> np.ndarray:
+    """Trilinear interpolation on the voxel-center lattice, clamp addressing.
+
+    ``local_pos`` is ``(M, 3)`` in the data block's local world
+    coordinates (voxel ``i`` spans ``[i, i+1)``, its center at ``i+0.5``).
+    Matches CUDA 3D-texture filtering with clamp-to-edge.
+    """
+    c = np.asarray(local_pos, dtype=np.float64) - 0.5
+    i0 = np.floor(c).astype(np.int64)
+    f = (c - i0).astype(np.float32)
+    nx, ny, nz = data.shape
+    x0 = np.clip(i0[:, 0], 0, nx - 1)
+    y0 = np.clip(i0[:, 1], 0, ny - 1)
+    z0 = np.clip(i0[:, 2], 0, nz - 1)
+    x1 = np.clip(i0[:, 0] + 1, 0, nx - 1)
+    y1 = np.clip(i0[:, 1] + 1, 0, ny - 1)
+    z1 = np.clip(i0[:, 2] + 1, 0, nz - 1)
+    fx, fy, fz = f[:, 0], f[:, 1], f[:, 2]
+    gx, gy, gz = 1.0 - fx, 1.0 - fy, 1.0 - fz
+    return (
+        data[x0, y0, z0] * (gx * gy * gz)
+        + data[x1, y0, z0] * (fx * gy * gz)
+        + data[x0, y1, z0] * (gx * fy * gz)
+        + data[x0, y0, z1] * (gx * gy * fz)
+        + data[x1, y1, z0] * (fx * fy * gz)
+        + data[x1, y0, z1] * (fx * gy * fz)
+        + data[x0, y1, z1] * (gx * fy * fz)
+        + data[x1, y1, z1] * (fx * fy * fz)
+    )
+
+
+def raycast_brick(
+    data: np.ndarray,
+    data_lo: tuple[int, int, int],
+    core_lo: tuple[int, int, int],
+    core_hi: tuple[int, int, int],
+    volume_shape: tuple[int, int, int],
+    camera: Camera,
+    tf: TransferFunction1D,
+    config: RenderConfig = RenderConfig(),
+    rect: Optional[PixelRect] = None,
+) -> tuple[np.ndarray, MapStats]:
+    """Ray cast one ghost-padded brick; return (fragments, stats).
+
+    Parameters mirror a :class:`~repro.volume.bricking.Brick`: ``data`` is
+    the padded payload starting at voxel ``data_lo``; the half-open core
+    is ``[core_lo, core_hi)``; ``volume_shape`` defines the global box
+    used for the shared ray parametrisation.
+    """
+    stats = MapStats()
+    core_lo_w = np.asarray(core_lo, dtype=np.float64)
+    core_hi_w = np.asarray(core_hi, dtype=np.float64)
+    vol_lo = np.zeros(3)
+    vol_hi = np.asarray(volume_shape, dtype=np.float64)
+
+    if rect is None:
+        corners = np.array(
+            [
+                [
+                    (core_lo_w[0], core_hi_w[0])[(c >> 0) & 1],
+                    (core_lo_w[1], core_hi_w[1])[(c >> 1) & 1],
+                    (core_lo_w[2], core_hi_w[2])[(c >> 2) & 1],
+                ]
+                for c in range(8)
+            ]
+        )
+        rect = camera.brick_rect(corners, pad_to_block=config.pad_to_block)
+    if rect.empty:
+        return empty_fragments(), stats
+
+    origins, dirs, keys = camera.rays_for_rect(rect)
+    n = len(keys)
+    stats.n_rays = n
+
+    tn_b, tf_b, hit_b = ray_box_intersect(origins, dirs, core_lo_w, core_hi_w)
+    tn_v, _, hit_v = ray_box_intersect(origins, dirs, vol_lo, vol_hi)
+    active = hit_b & hit_v & (tf_b > tn_b)
+    stats.n_active_rays = int(active.sum())
+    if not np.any(active):
+        if config.emit_placeholders:
+            stats.n_emitted = n
+            ph = make_fragments(
+                np.full(n, PLACEHOLDER_KEY, np.int32),
+                np.zeros(n, np.float32),
+                np.zeros((n, 4), np.float32),
+            )
+            return ph, stats
+        return empty_fragments(), stats
+
+    dt = config.dt
+    # Conservative global sample-index range touching the brick.
+    k_lo = np.where(active, np.floor((tn_b - tn_v) / dt - 1.0), 0).astype(np.int64)
+    k_lo = np.maximum(k_lo, 0)
+    k_hi = np.where(active, np.ceil((tf_b - tn_v) / dt + 1.0), -1).astype(np.int64)
+
+    # Per-ray accumulators (premultiplied colour, alpha).
+    acc_rgb = np.zeros((n, 3), dtype=np.float32)
+    acc_a = np.zeros(n, dtype=np.float32)
+    first_t = np.full(n, np.inf, dtype=np.float64)
+    terminated = np.zeros(n, dtype=bool)
+
+    k = int(k_lo[active].min())
+    k_end = int(k_hi[active].max())
+    while k <= k_end:
+        live = active & ~terminated & (k_lo <= k) & (k <= k_hi)
+        if not np.any(live):
+            # All rays currently out of range or done; jump to the next
+            # ray's range start if any remain.
+            remaining = active & ~terminated & (k_lo > k)
+            if not np.any(remaining):
+                break
+            k = int(k_lo[remaining].min())
+            continue
+        idx = np.nonzero(live)[0]
+        t = tn_v[idx] + (k + 0.5) * dt
+        p = origins[idx] + t[:, None] * dirs[idx]
+        owned = box_contains(p, core_lo_w, core_hi_w)
+        if np.any(owned):
+            oi = idx[owned]
+            po = p[owned]
+            local = po - np.asarray(data_lo, dtype=np.float64)[None, :]
+            values = trilinear_sample(data, local)
+            stats.n_samples += len(oi) * config.fetches_per_sample
+            rgba = tf.lookup(values)
+            if config.shading:
+                from .shading import central_gradient, shade_phong
+
+                grads = central_gradient(data, local)
+                rgba = rgba.copy()
+                rgba[:, :3] = shade_phong(rgba[:, :3], grads, dirs[oi])
+            a = opacity_correction(rgba[:, 3], dt)
+            one_m = 1.0 - acc_a[oi]
+            acc_rgb[oi] += (one_m * a)[:, None] * rgba[:, :3]
+            acc_a[oi] += one_m * a
+            # Record the depth of the first owned sample.
+            first_t[oi] = np.minimum(first_t[oi], t[owned])
+            if config.ert_alpha < 1.0:
+                done = acc_a[oi] >= config.ert_alpha
+                if np.any(done):
+                    terminated[oi[done]] = True
+        k += 1
+
+    contributed = np.isfinite(first_t) & (acc_a > config.alpha_eps)
+    stats.n_emitted = n if config.emit_placeholders else int(contributed.sum())
+    stats.n_kept = int(contributed.sum())
+
+    if config.emit_placeholders:
+        pix = np.where(contributed, keys, PLACEHOLDER_KEY).astype(np.int32)
+        depth = np.where(contributed, first_t, 0.0).astype(np.float32)
+        rgba = np.concatenate([acc_rgb, acc_a[:, None]], axis=1)
+        rgba[~contributed] = 0.0
+        return make_fragments(pix, depth, rgba), stats
+
+    sel = np.nonzero(contributed)[0]
+    rgba = np.concatenate([acc_rgb[sel], acc_a[sel, None]], axis=1)
+    return (
+        make_fragments(keys[sel], first_t[sel].astype(np.float32), rgba),
+        stats,
+    )

@@ -1,0 +1,68 @@
+"""Final image assembly ("stitching") and PPM output.
+
+After Reduce, each reducer holds final colours for its share of the
+pixels (a round-robin interleave in the paper's default partitioning).
+Stitching scatters those shares back into one framebuffer.  The paper
+times neither bricking nor stitching; we implement stitching anyway so
+examples produce complete images.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from .compositing import blend_background
+
+__all__ = ["stitch_pixels", "rgba_to_rgb8", "write_ppm"]
+
+
+def stitch_pixels(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    width: int,
+    height: int,
+) -> np.ndarray:
+    """Scatter (pixel_keys, rgba_rows) pairs into an (h, w, 4) image.
+
+    Missing pixels stay transparent black; duplicate keys are an error
+    (each pixel must be reduced by exactly one reducer).
+    """
+    flat = np.zeros((width * height, 4), dtype=np.float32)
+    seen = np.zeros(width * height, dtype=bool)
+    for keys, rgba in parts:
+        keys = np.asarray(keys, dtype=np.int64)
+        rgba = np.asarray(rgba, dtype=np.float32)
+        if keys.ndim != 1 or rgba.shape != (len(keys), 4):
+            raise ValueError("each part must be (keys (N,), rgba (N,4))")
+        if len(keys) == 0:
+            continue
+        if keys.min() < 0 or keys.max() >= width * height:
+            raise ValueError("pixel key outside the image")
+        if np.any(seen[keys]):
+            raise ValueError("pixel reduced by more than one reducer")
+        seen[keys] = True
+        flat[keys] = rgba
+    return flat.reshape(height, width, 4)
+
+
+def rgba_to_rgb8(
+    image: np.ndarray, background: Sequence[float] = (0.0, 0.0, 0.0)
+) -> np.ndarray:
+    """Premultiplied RGBA float image → uint8 RGB over a background."""
+    rgb = blend_background(image, background)
+    return (np.clip(rgb, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(
+    path: Union[str, Path],
+    image: np.ndarray,
+    background: Sequence[float] = (0.0, 0.0, 0.0),
+) -> None:
+    """Write a premultiplied RGBA image as a binary PPM (P6)."""
+    rgb = rgba_to_rgb8(image, background)
+    h, w, _ = rgb.shape
+    with open(path, "wb") as f:
+        f.write(f"P6\n{w} {h}\n255\n".encode())
+        f.write(rgb.tobytes())

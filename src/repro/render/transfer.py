@@ -1,0 +1,141 @@
+"""1-D transfer functions.
+
+The paper applies "a texture-based 1D transfer function" per sample to
+map scalar values to colour and opacity.  :class:`TransferFunction1D`
+mimics a CUDA 1D texture: a fixed-size RGBA table sampled with linear
+interpolation and clamp-to-edge addressing.
+
+Opacities in the table are defined for a *reference step length of one
+voxel*; the ray caster applies the standard opacity correction
+``α' = 1 − (1−α)^(dt)`` when marching at a different step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "TransferFunction1D",
+    "default_tf",
+    "bone_tf",
+    "fire_tf",
+    "grayscale_tf",
+    "opacity_correction",
+]
+
+
+@dataclass(frozen=True)
+class TransferFunction1D:
+    """RGBA lookup table over scalar domain ``[vmin, vmax]``."""
+
+    table: np.ndarray  # (N, 4) float32, straight (non-premultiplied) RGBA
+    vmin: float = 0.0
+    vmax: float = 1.0
+
+    def __post_init__(self):
+        t = np.ascontiguousarray(self.table, dtype=np.float32)
+        if t.ndim != 2 or t.shape[1] != 4 or t.shape[0] < 2:
+            raise ValueError(f"table must be (N>=2, 4), got {t.shape}")
+        if np.any(t < 0) or np.any(t > 1):
+            raise ValueError("table entries must lie in [0, 1]")
+        if not self.vmax > self.vmin:
+            raise ValueError("vmax must exceed vmin")
+        object.__setattr__(self, "table", t)
+
+    @property
+    def resolution(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.table.nbytes
+
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Linearly-interpolated RGBA for each scalar (clamp addressing)."""
+        v = np.asarray(values, dtype=np.float64)
+        u = (v - self.vmin) / (self.vmax - self.vmin)
+        u = np.clip(u, 0.0, 1.0) * (self.resolution - 1)
+        i0 = np.floor(u).astype(np.int64)
+        i0 = np.minimum(i0, self.resolution - 2)
+        f = (u - i0)[..., None].astype(np.float32)
+        return (1.0 - f) * self.table[i0] + f * self.table[i0 + 1]
+
+    def opacity_threshold_value(self, alpha_eps: float = 1e-3) -> float:
+        """Smallest scalar whose opacity exceeds ``alpha_eps``.
+
+        Used by the empty-space model: voxels below this value generate
+        discarded fragments.
+        """
+        alphas = self.table[:, 3]
+        hit = np.nonzero(alphas > alpha_eps)[0]
+        if len(hit) == 0:
+            return self.vmax
+        frac = hit[0] / (self.resolution - 1)
+        return self.vmin + frac * (self.vmax - self.vmin)
+
+
+def opacity_correction(alpha: np.ndarray, dt: float) -> np.ndarray:
+    """Correct per-unit-length opacity for step size ``dt``."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    return 1.0 - np.power(1.0 - np.minimum(alpha, 0.9999), dt)
+
+
+def _ramp(n: int, stops: Sequence[tuple[float, tuple[float, float, float, float]]]) -> np.ndarray:
+    """Piecewise-linear RGBA ramp through (position, rgba) stops."""
+    xs = np.array([s[0] for s in stops])
+    cs = np.array([s[1] for s in stops])
+    if np.any(np.diff(xs) <= 0):
+        raise ValueError("stops must be strictly increasing")
+    u = np.linspace(0.0, 1.0, n)
+    out = np.empty((n, 4), dtype=np.float32)
+    for c in range(4):
+        out[:, c] = np.interp(u, xs, cs[:, c])
+    return out
+
+
+def default_tf(resolution: int = 256) -> TransferFunction1D:
+    """General-purpose blue→white→orange ramp with increasing opacity."""
+    stops = [
+        (0.00, (0.0, 0.0, 0.0, 0.0)),
+        (0.08, (0.1, 0.1, 0.4, 0.0)),
+        (0.30, (0.2, 0.4, 0.9, 0.15)),
+        (0.55, (0.9, 0.9, 0.9, 0.35)),
+        (0.80, (1.0, 0.6, 0.2, 0.7)),
+        (1.00, (1.0, 0.3, 0.1, 0.9)),
+    ]
+    return TransferFunction1D(_ramp(resolution, stops))
+
+
+def bone_tf(resolution: int = 256) -> TransferFunction1D:
+    """CT-style: soft tissue translucent, bone bright and opaque (Skull)."""
+    stops = [
+        (0.00, (0.0, 0.0, 0.0, 0.0)),
+        (0.15, (0.4, 0.2, 0.1, 0.02)),
+        (0.40, (0.8, 0.6, 0.4, 0.10)),
+        (0.70, (1.0, 0.95, 0.85, 0.60)),
+        (1.00, (1.0, 1.0, 1.0, 0.95)),
+    ]
+    return TransferFunction1D(_ramp(resolution, stops))
+
+
+def fire_tf(resolution: int = 256) -> TransferFunction1D:
+    """Black-body ramp for the Supernova/Plume datasets."""
+    stops = [
+        (0.00, (0.0, 0.0, 0.0, 0.0)),
+        (0.20, (0.4, 0.0, 0.0, 0.05)),
+        (0.45, (0.9, 0.2, 0.0, 0.20)),
+        (0.70, (1.0, 0.7, 0.1, 0.50)),
+        (1.00, (1.0, 1.0, 0.8, 0.85)),
+    ]
+    return TransferFunction1D(_ramp(resolution, stops))
+
+
+def grayscale_tf(resolution: int = 256, max_alpha: float = 0.8) -> TransferFunction1D:
+    """Linear grayscale; handy for tests because lookup(v) is analytic."""
+    u = np.linspace(0.0, 1.0, resolution, dtype=np.float32)
+    table = np.stack([u, u, u, u * max_alpha], axis=1)
+    return TransferFunction1D(table)

@@ -1,0 +1,39 @@
+"""PCI-Express link model.
+
+The paper measures a 64³ float brick (1 MiB) host-to-device in under
+0.2 ms — consistent with PCIe 2.0 x16 sustaining ~5.5 GB/s — and notes
+that CUDA 3D-texture uploads forced *synchronous* copies.  We model that
+faithfully: a texture upload occupies both the PCIe link and the GPU's
+kernel engine, so it cannot hide behind compute on the same GPU, while
+ordinary buffer downloads (ray fragments, device-to-host) may proceed
+asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PCIeSpec"]
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Bandwidth/latency of the host↔device interconnect for one GPU.
+
+    On the S1070, two GPUs shared each PCIe x16 cable; ``shared_by``
+    records how many sibling GPUs contend for this link (used by the node
+    builder to create shared :class:`~repro.sim.resources.Link` objects).
+    """
+
+    h2d_bandwidth: float = 5.7e9
+    d2h_bandwidth: float = 5.2e9
+    latency: float = 10e-6
+    shared_by: int = 2
+
+    def h2d_time(self, nbytes: int) -> float:
+        """Unloaded host→device copy time for ``nbytes``."""
+        return self.latency + nbytes / self.h2d_bandwidth
+
+    def d2h_time(self, nbytes: int) -> float:
+        """Unloaded device→host copy time for ``nbytes``."""
+        return self.latency + nbytes / self.d2h_bandwidth

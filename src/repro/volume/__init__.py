@@ -1,0 +1,36 @@
+"""Volume data substrate: containers, procedural datasets, bricking, I/O."""
+
+from .bricking import Brick, BrickGrid, bricks_for_gpu_count
+from .datasets import (
+    DATASET_FIELDS,
+    PAPER_RESOLUTIONS,
+    make_dataset,
+    plume_field,
+    skull_field,
+    supernova_field,
+)
+from .histogram import auto_transfer_function, value_histogram
+from .io import BvolReader, write_bvol
+from .occupancy import brick_occupancy_estimate, brick_occupancy_exact, grid_occupancy
+from .volume import Volume, field_on_grid
+
+__all__ = [
+    "Brick",
+    "BrickGrid",
+    "BvolReader",
+    "auto_transfer_function",
+    "value_histogram",
+    "DATASET_FIELDS",
+    "PAPER_RESOLUTIONS",
+    "Volume",
+    "brick_occupancy_estimate",
+    "brick_occupancy_exact",
+    "bricks_for_gpu_count",
+    "field_on_grid",
+    "grid_occupancy",
+    "make_dataset",
+    "plume_field",
+    "skull_field",
+    "supernova_field",
+    "write_bvol",
+]

@@ -1,0 +1,124 @@
+"""Procedural stand-ins for the paper's datasets.
+
+The paper renders three scalar volumes — **Skull**, **Supernova**, and
+**Plume** — at resolutions 128³…1024³ (Plume at 512×512×2048).  The
+original files are not distributable, so we provide deterministic
+procedural fields with qualitatively matching structure:
+
+* ``skull``      — a hollow bone-like shell with inner structure and
+                   eye-socket cavities: mostly empty space, a thin
+                   high-opacity surface (CT-scan-like histogram).
+* ``supernova``  — a turbulent ball: dense core, filamentary shells
+                   modulated by deterministic harmonics.
+* ``plume``      — a rising column with sinusoidal sway and a mushroom
+                   head, tall in z (matches the 512×512×2048 aspect).
+
+Each field maps normalised coordinates in ``[0,1]³`` to values in
+``[0,1]`` and is resolution-independent, so the *same* object can be
+materialised at 64³ for tests and described analytically at 1024³ for
+the simulated benchmarks.  Only voxel count and empty-space distribution
+affect the paper's measurements, and both are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from .volume import Volume, field_on_grid
+
+__all__ = [
+    "skull_field",
+    "supernova_field",
+    "plume_field",
+    "make_dataset",
+    "DATASET_FIELDS",
+    "PAPER_RESOLUTIONS",
+]
+
+Field = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def _smoothstep(edge0: float, edge1: float, x: np.ndarray) -> np.ndarray:
+    t = np.clip((x - edge0) / (edge1 - edge0), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def skull_field(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Hollow shell + inner matter + socket cavities; ~85% empty."""
+    cx, cy, cz = x - 0.5, y - 0.5, z - 0.5
+    r = np.sqrt(cx * cx + cy * cy + (cz * 1.15) ** 2)
+    # Outer cranium shell at r≈0.38, thickness ~0.03.
+    shell = np.exp(-((r - 0.38) / 0.03) ** 2)
+    # Inner tissue: soft value inside r<0.33.
+    tissue = 0.25 * _smoothstep(0.33, 0.28, r)
+    # Eye sockets: two cavities carved from the shell.
+    s1 = np.sqrt((cx - 0.14) ** 2 + (cy - 0.30) ** 2 + (cz + 0.08) ** 2)
+    s2 = np.sqrt((cx + 0.14) ** 2 + (cy - 0.30) ** 2 + (cz + 0.08) ** 2)
+    sockets = np.maximum(_smoothstep(0.12, 0.05, s1), _smoothstep(0.12, 0.05, s2))
+    # Jaw ridge: a torus-ish band near the bottom front.
+    jaw = np.exp(-(((r - 0.30) / 0.05) ** 2)) * _smoothstep(-0.05, -0.25, cz)
+    value = np.maximum(shell * (1.0 - 0.9 * sockets), 0.55 * jaw) + tissue
+    return np.clip(value, 0.0, 1.0)
+
+
+def supernova_field(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Turbulent exploding ball; dense core, filamentary outer shells."""
+    cx, cy, cz = x - 0.5, y - 0.5, z - 0.5
+    r = np.sqrt(cx * cx + cy * cy + cz * cz)
+    theta = np.arctan2(np.sqrt(cx * cx + cy * cy), cz)
+    phi = np.arctan2(cy, cx)
+    # Deterministic "turbulence": a few spherical-harmonic-like wobbles.
+    turb = (
+        0.35 * np.sin(5.0 * theta) * np.cos(3.0 * phi)
+        + 0.25 * np.sin(9.0 * theta + 1.3) * np.sin(7.0 * phi + 0.7)
+        + 0.15 * np.cos(13.0 * theta) * np.cos(11.0 * phi + 2.1)
+    )
+    shell_r = 0.33 * (1.0 + 0.18 * turb)
+    shell = np.exp(-((r - shell_r) / 0.045) ** 2)
+    core = _smoothstep(0.16, 0.02, r)
+    filaments = 0.5 * np.exp(-((r - 0.24 * (1 + 0.3 * turb)) / 0.03) ** 2)
+    return np.clip(core + shell + filaments, 0.0, 1.0)
+
+
+def plume_field(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Buoyant column rising in +z with sway and a mushroom head."""
+    # Column axis sways sinusoidally with height.
+    ax = 0.5 + 0.10 * np.sin(6.0 * z) * z
+    ay = 0.5 + 0.10 * np.cos(5.0 * z) * z
+    d = np.sqrt((x - ax) ** 2 + (y - ay) ** 2)
+    # Column radius grows with height; density falls off radially.
+    radius = 0.05 + 0.13 * z**1.5
+    column = np.exp(-((d / np.maximum(radius, 1e-6)) ** 2)) * _smoothstep(0.02, 0.12, z)
+    # Mushroom head near the top.
+    hd = np.sqrt((x - ax) ** 2 + (y - ay) ** 2 + ((z - 0.85) / 1.6) ** 2)
+    head = 0.9 * np.exp(-((hd / 0.16) ** 2))
+    # Slow vertical density stratification.
+    strat = 0.8 + 0.2 * np.sin(20.0 * z)
+    return np.clip((column * strat + head), 0.0, 1.0)
+
+
+DATASET_FIELDS: Dict[str, Field] = {
+    "skull": skull_field,
+    "supernova": supernova_field,
+    "plume": plume_field,
+}
+
+#: Resolutions used in the paper's evaluation (Section 5).
+PAPER_RESOLUTIONS: Dict[str, list[tuple[int, int, int]]] = {
+    "skull": [(n, n, n) for n in (128, 256, 512, 1024)],
+    "supernova": [(n, n, n) for n in (128, 256, 512, 1024)],
+    "plume": [(512, 512, 2048)],
+}
+
+
+def make_dataset(name: str, shape: Sequence[int]) -> Volume:
+    """Materialise one of the named datasets at an arbitrary resolution."""
+    try:
+        field = DATASET_FIELDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_FIELDS)}"
+        ) from None
+    return Volume(field_on_grid(field, shape), name=name)

@@ -1,0 +1,95 @@
+"""Value histograms and automatic transfer-function design.
+
+Transfer-function design is the practical entry barrier for volume
+rendering; a library "easy to program for" (the paper's pitch) should
+offer a sane default.  :func:`auto_transfer_function` builds one from
+the volume's value histogram: the (huge) background mode is made
+transparent and opacity ramps over the informative value range,
+weighted toward rare values — a standard histogram-equalisation
+heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..render.transfer import TransferFunction1D
+from .volume import Volume
+
+__all__ = ["value_histogram", "auto_transfer_function"]
+
+
+def value_histogram(
+    volume: Volume, bins: int = 256, sample_stride: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """(counts, bin_edges) of voxel values, optionally strided for speed."""
+    if bins < 2:
+        raise ValueError("need at least two bins")
+    if sample_stride < 1:
+        raise ValueError("stride must be >= 1")
+    data = volume.data[::sample_stride, ::sample_stride, ::sample_stride]
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    return np.histogram(data, bins=bins, range=(lo, hi))
+
+
+def auto_transfer_function(
+    volume: Volume,
+    bins: int = 256,
+    max_alpha: float = 0.7,
+    background_quantile: float = 0.5,
+    colormap: str = "fire",
+    sample_stride: int = 2,
+) -> TransferFunction1D:
+    """Design a transfer function from the volume's histogram.
+
+    Values at or below the ``background_quantile`` of voxel mass are
+    transparent; above it, opacity grows with rarity (inverse histogram
+    frequency, smoothed), so thin structures — shells, filaments — stay
+    visible against bulky regions.
+    """
+    if not 0 < max_alpha <= 1:
+        raise ValueError("max_alpha must be in (0, 1]")
+    if not 0 <= background_quantile < 1:
+        raise ValueError("background_quantile must be in [0, 1)")
+    counts, edges = value_histogram(volume, bins, sample_stride)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("empty volume")
+    cdf = np.cumsum(counts) / total
+    # First bin index strictly past the background mass: +1 keeps the
+    # dominant background bin itself transparent even when it alone
+    # exceeds the quantile.
+    start = int(np.searchsorted(cdf, background_quantile)) + 1
+    start = min(start, bins - 2)
+    # Rarity weighting over the informative range.
+    informative = counts[start:].astype(np.float64)
+    rarity = 1.0 / (informative + 1.0)
+    rarity /= rarity.max()
+    # Smooth with a small box filter so the alpha ramp is not jagged.
+    kernel = np.ones(9) / 9.0
+    smooth = np.convolve(rarity, kernel, mode="same")
+    smooth /= max(smooth.max(), 1e-12)
+    alpha = np.zeros(bins, dtype=np.float32)
+    ramp = np.linspace(0.15, 1.0, bins - start)
+    alpha[start:] = (max_alpha * ramp * (0.35 + 0.65 * smooth)).astype(np.float32)
+    alpha = np.clip(alpha, 0.0, 1.0)
+
+    u = np.linspace(0.0, 1.0, bins, dtype=np.float32)
+    if colormap == "fire":
+        r = np.clip(3.0 * u, 0, 1)
+        g = np.clip(3.0 * u - 1.0, 0, 1)
+        b = np.clip(3.0 * u - 2.0, 0, 1)
+    elif colormap == "cool":
+        r = u
+        g = 1.0 - 0.5 * u
+        b = np.ones_like(u)
+    elif colormap == "gray":
+        r = g = b = u
+    else:
+        raise ValueError(f"unknown colormap {colormap!r}")
+    table = np.stack([r, g, b, alpha], axis=1).astype(np.float32)
+    return TransferFunction1D(table, vmin=float(edges[0]), vmax=float(edges[-1]))

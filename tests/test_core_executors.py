@@ -1,0 +1,252 @@
+"""Tests for the functional executor and the simulated scheduler, using a
+small synthetic MapReduce job (histogram fold) independent of rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Chunk,
+    InProcessExecutor,
+    JobConfig,
+    KVSpec,
+    MapOutput,
+    Mapper,
+    MapReduceSpec,
+    MapWork,
+    PLACEHOLDER,
+    Reducer,
+    RoundRobinPartitioner,
+    SimClusterExecutor,
+    run_length_groups,
+)
+from repro.sim import accelerator_cluster
+
+KV = np.dtype([("key", np.int32), ("val", np.float32)])
+
+
+class SquareMapper(Mapper):
+    """Emits (value mod K, value^2) per element; odd inputs emit placeholders."""
+
+    def __init__(self, max_key):
+        self.max_key = max_key
+        self.initialized = False
+
+    def initialize(self, device=None):
+        self.initialized = True
+
+    def map(self, chunk):
+        data = chunk.payload()
+        pairs = np.empty(len(data), dtype=KV)
+        keys = (data.astype(np.int64) % (self.max_key + 1)).astype(np.int32)
+        odd = data % 2 == 1
+        keys[odd] = PLACEHOLDER  # restriction #4: every thread emits
+        pairs["key"] = keys
+        pairs["val"] = data.astype(np.float32) ** 2
+        return MapOutput(pairs, work={"n_rays": len(data), "n_samples": len(data) * 3})
+
+
+class SumReducer(Reducer):
+    def reduce_all(self, pairs):
+        keys, starts, counts = run_length_groups(pairs["key"])
+        sums = np.add.reduceat(pairs["val"], starts) if len(keys) else np.zeros(0)
+        return keys, sums
+
+
+def build_spec(n_reducers=3, max_key=9):
+    return MapReduceSpec(
+        mapper=SquareMapper(max_key),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(n_reducers),
+        kv=KVSpec(KV),
+        max_key=max_key,
+    )
+
+
+def make_chunks(n_chunks=4, elems=50, seed=0):
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for i in range(n_chunks):
+        data = rng.integers(0, 100, elems).astype(np.int64) * 2  # even → all kept
+        chunks.append(Chunk(id=i, nbytes=data.nbytes, data=data))
+    return chunks
+
+
+def test_functional_pipeline_matches_direct_computation():
+    spec = build_spec()
+    chunks = make_chunks()
+    result = InProcessExecutor().execute(spec, chunks)
+    # Direct ground truth.
+    alldata = np.concatenate([c.data for c in chunks])
+    expect = {}
+    for v in alldata:
+        k = int(v % 10)
+        expect[k] = expect.get(k, 0.0) + float(v) ** 2
+    got = {}
+    for r, (keys, sums) in enumerate(result.outputs):
+        for k, s in zip(keys, sums):
+            assert k % spec.n_reducers == r  # routed to the right reducer
+            got[int(k)] = float(s)
+    assert set(got) == set(expect)
+    for k in expect:
+        assert got[k] == pytest.approx(expect[k], rel=1e-6)
+
+
+def test_placeholders_are_discarded_but_counted():
+    spec = build_spec()
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 100, 200).astype(np.int64)  # mixed parity
+    chunks = [Chunk(id=0, nbytes=data.nbytes, data=data)]
+    result = InProcessExecutor().execute(spec, chunks)
+    st = result.stats
+    n_odd = int(np.count_nonzero(data % 2 == 1))
+    assert st.n_pairs_emitted == 200
+    assert st.n_pairs_kept == 200 - n_odd
+    assert 0 < st.discard_fraction < 1
+
+
+def test_mapper_initialize_called():
+    spec = build_spec()
+    InProcessExecutor().execute(spec, make_chunks(1))
+    assert spec.mapper.initialized
+
+
+def test_works_record_routing():
+    spec = build_spec(n_reducers=4)
+    chunks = make_chunks(3)
+    result = InProcessExecutor().execute(spec, chunks, chunk_to_gpu=[0, 1, 1])
+    assert len(result.works) == 3
+    assert [w.gpu for w in result.works] == [0, 1, 1]
+    for w, c in zip(result.works, chunks):
+        assert w.upload_bytes == c.nbytes
+        assert int(w.pairs_to_reducer.sum()) <= w.pairs_emitted
+    total_routed = sum(int(w.pairs_to_reducer.sum()) for w in result.works)
+    assert total_routed == result.stats.n_pairs_kept
+    assert np.array_equal(
+        sum(w.pairs_to_reducer for w in result.works), result.pairs_per_reducer
+    )
+
+
+def test_out_of_core_chunk_loader():
+    spec = build_spec()
+    data = (np.arange(20, dtype=np.int64) * 2)
+    chunk = Chunk(id=0, nbytes=data.nbytes, loader=lambda: data, on_disk=True)
+    result = InProcessExecutor().execute(spec, [chunk])
+    assert result.stats.n_pairs_kept == 20
+    assert result.works[0].read_from_disk
+
+
+def test_chunk_validation():
+    with pytest.raises(ValueError):
+        Chunk(id=0, nbytes=-1)
+    with pytest.raises(ValueError):
+        Chunk(id=0, nbytes=8, data=np.zeros(1), loader=lambda: np.zeros(1))
+    c = Chunk(id=0, nbytes=4, loader=lambda: np.zeros(2, np.float32))
+    with pytest.raises(ValueError):
+        c.payload()  # loader size mismatch
+    bare = Chunk(id=1, nbytes=8)
+    with pytest.raises(ValueError):
+        bare.payload()
+    assert Chunk(id=2, nbytes=10).fits_on(vram_bytes=16, static_bytes=6)
+    assert not Chunk(id=2, nbytes=10).fits_on(vram_bytes=15, static_bytes=6)
+
+
+# -- simulated scheduler -----------------------------------------------------
+def simple_works(n_gpus, n_chunks, pairs_each=1000, n_reducers=None):
+    n_reducers = n_reducers or n_gpus
+    works = []
+    for i in range(n_chunks):
+        routed = np.full(n_reducers, pairs_each // n_reducers, dtype=np.int64)
+        works.append(
+            MapWork(
+                chunk_id=i,
+                gpu=i % n_gpus,
+                upload_bytes=1 << 20,
+                n_rays=256 * 256,
+                n_samples=5_000_000,
+                pairs_emitted=pairs_each,
+                pairs_to_reducer=routed,
+            )
+        )
+    return works
+
+
+def run_sim(n_gpus, n_chunks, **cfg):
+    spec = accelerator_cluster(n_gpus)
+    ex = SimClusterExecutor(spec, JobConfig(**cfg))
+    outcome, cluster = ex.execute(simple_works(n_gpus, n_chunks), pair_nbytes=24)
+    return outcome
+
+
+def test_sim_produces_positive_stage_times():
+    out = run_sim(4, 8)
+    sb = out.breakdown
+    assert sb.map > 0
+    assert sb.sort > 0
+    assert sb.reduce > 0
+    assert sb.partition_io >= 0
+    assert out.total_runtime == pytest.approx(sb.total, rel=1e-9)
+
+
+def test_sim_map_scales_down_with_gpus():
+    t1 = run_sim(1, 16).breakdown.map
+    t4 = run_sim(4, 16).breakdown.map
+    assert t4 < t1
+    assert t4 < t1 / 2  # parallel speedup beyond 2x with 4 GPUs
+
+
+def test_sim_network_traffic_only_across_nodes():
+    # 4 GPUs = 1 node: all traffic intranode.
+    out = run_sim(4, 8)
+    assert out.bytes_internode == 0
+    assert out.bytes_intranode > 0
+    # 8 GPUs = 2 nodes: some traffic goes over the NIC.
+    out8 = run_sim(8, 8)
+    assert out8.bytes_internode > 0
+
+
+def test_sim_sort_device_auto_switches():
+    small = run_sim(2, 4, sort_on="auto", sort_gpu_cutoff=1 << 21)
+    assert small.sort_device == "cpu"
+    big = run_sim(2, 4, sort_on="auto", sort_gpu_cutoff=100)
+    assert big.sort_device == "gpu"
+
+
+def test_sim_gpu_reduce_mode_runs():
+    out = run_sim(2, 4, reduce_on="gpu")
+    assert out.breakdown.reduce > 0
+
+
+def test_sim_rejects_oversized_chunk():
+    spec = accelerator_cluster(1)
+    w = simple_works(1, 1)
+    w[0].upload_bytes = 100 << 30  # 100 GiB
+    with pytest.raises(MemoryError):
+        SimClusterExecutor(spec).execute(w, pair_nbytes=24)
+
+
+def test_sim_rejects_bad_gpu_index():
+    spec = accelerator_cluster(2)
+    w = simple_works(4, 4)  # targets gpu 3 on a 2-GPU cluster
+    with pytest.raises(ValueError):
+        SimClusterExecutor(spec).execute(w, pair_nbytes=24)
+
+
+def test_mapwork_validation():
+    with pytest.raises(ValueError):
+        MapWork(0, 0, 1, 1, 1, pairs_emitted=1, pairs_to_reducer=np.array([5]))
+    with pytest.raises(ValueError):
+        MapWork(0, 0, 1, 1, 1, pairs_emitted=1, pairs_to_reducer=np.array([-1]))
+
+
+def test_sim_include_disk_adds_time():
+    spec = accelerator_cluster(2)
+    works = simple_works(2, 4)
+    for w in works:
+        w.read_from_disk = True
+    base, _ = SimClusterExecutor(spec, JobConfig(include_disk=False)).execute(
+        works, pair_nbytes=24
+    )
+    disk, _ = SimClusterExecutor(spec, JobConfig(include_disk=True)).execute(
+        works, pair_nbytes=24
+    )
+    assert disk.total_runtime > base.total_runtime

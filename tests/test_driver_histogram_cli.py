@@ -1,0 +1,181 @@
+"""Tests for the rotation driver, auto transfer functions, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.pipeline import MapReduceVolumeRenderer, orbit_path, render_rotation
+from repro.render import RenderConfig, default_tf
+from repro.volume import auto_transfer_function, make_dataset, value_histogram
+from repro.volume.datasets import skull_field
+
+
+# -- orbit path / rotation -------------------------------------------------
+def test_orbit_path_shapes_and_validation():
+    cams = orbit_path((32, 32, 32), 6, width=64, height=64)
+    assert len(cams) == 6
+    assert all(c.width == 64 for c in cams)
+    # Azimuths spread over the circle: first and fourth oppose.
+    e0 = np.asarray(cams[0].eye)
+    e3 = np.asarray(cams[3].eye)
+    center = np.array([16.0, 16.0, 16.0])
+    assert np.dot(e0[:2] - center[:2], e3[:2] - center[:2]) < 0
+    with pytest.raises(ValueError):
+        orbit_path((32, 32, 32), 0)
+
+
+def test_render_rotation_sim_mode():
+    r = MapReduceVolumeRenderer(
+        volume=None,
+        volume_shape=(128, 128, 128),
+        field=skull_field,
+        cluster=4,
+        tf=default_tf(),
+        render_config=RenderConfig(dt=1.0),
+    )
+    rot = render_rotation(r, n_frames=4, mode="sim", width=256, height=256)
+    assert rot.n_frames == 4
+    assert rot.mean_fps > 0
+    assert rot.worst_frame >= max(rot.frame_runtimes) - 1e-12
+    assert rot.frame_time_spread >= 1.0
+    assert rot.total_seconds == pytest.approx(sum(rot.frame_runtimes))
+
+
+def test_render_rotation_exec_keeps_images():
+    vol = make_dataset("supernova", (16, 16, 16))
+    r = MapReduceVolumeRenderer(
+        volume=vol, cluster=2, tf=default_tf(), render_config=RenderConfig(dt=1.0)
+    )
+    rot = render_rotation(
+        r, n_frames=3, mode="both", width=32, height=32, keep_images=True
+    )
+    assert len(rot.images) == 3
+    assert all(img.shape == (32, 32, 4) for img in rot.images)
+    # Different angles produce different images.
+    assert not np.array_equal(rot.images[0], rot.images[1])
+
+
+def test_render_rotation_rejects_untimed_mode():
+    vol = make_dataset("supernova", (16, 16, 16))
+    r = MapReduceVolumeRenderer(volume=vol, cluster=2)
+    with pytest.raises(ValueError, match="timing"):
+        render_rotation(r, n_frames=2, mode="exec", width=32, height=32)
+
+
+# -- histogram / auto transfer function ------------------------------------
+def test_value_histogram_basic():
+    vol = make_dataset("skull", (24, 24, 24))
+    counts, edges = value_histogram(vol, bins=64)
+    assert counts.sum() == vol.voxel_count
+    assert len(edges) == 65
+    with pytest.raises(ValueError):
+        value_histogram(vol, bins=1)
+    with pytest.raises(ValueError):
+        value_histogram(vol, sample_stride=0)
+
+
+def test_auto_transfer_function_properties():
+    vol = make_dataset("supernova", (24, 24, 24))
+    tf = auto_transfer_function(vol, max_alpha=0.6)
+    # Valid table, background transparent, opacity reaches meaningful levels.
+    assert tf.table.shape[1] == 4
+    assert tf.lookup(np.array([0.0]))[0, 3] == pytest.approx(0.0, abs=1e-5)
+    assert tf.table[:, 3].max() <= 0.6 + 1e-6
+    assert tf.table[:, 3].max() > 0.2
+    with pytest.raises(ValueError):
+        auto_transfer_function(vol, max_alpha=0.0)
+    with pytest.raises(ValueError):
+        auto_transfer_function(vol, colormap="rainbow")
+
+
+def test_auto_transfer_function_renders():
+    """An auto TF must produce a non-empty image through the pipeline."""
+    vol = make_dataset("skull", (24, 24, 24))
+    tf = auto_transfer_function(vol)
+    from repro.render import orbit_camera, render_reference
+
+    cam = orbit_camera(vol.shape, width=48, height=48)
+    ref = render_reference(vol, cam, tf, RenderConfig(dt=1.0))
+    assert ref.image[..., 3].max() > 0.05
+
+
+# -- CLI ------------------------------------------------------------------------
+def test_cli_parser_subcommands():
+    p = build_parser()
+    args = p.parse_args(["render", "--dataset", "supernova", "--size", "16"])
+    assert args.command == "render" and args.size == 16
+    args = p.parse_args(["sweep", "--figure", "fig4", "--sizes", "128,256"])
+    assert args.sizes == [128, 256]
+    with pytest.raises(SystemExit):
+        p.parse_args(["sweep", "--sizes", "x,y"])
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "GPU model" in out
+
+
+def test_cli_render_writes_ppm(tmp_path, capsys):
+    out = tmp_path / "cli.ppm"
+    rc = main(
+        [
+            "render",
+            "--dataset",
+            "supernova",
+            "--size",
+            "16",
+            "--gpus",
+            "2",
+            "--image",
+            "32",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    assert out.exists() and out.read_bytes().startswith(b"P6")
+    assert "simulated stages" in capsys.readouterr().out
+
+
+def test_cli_render_with_shading_and_auto_tf(tmp_path):
+    out = tmp_path / "shaded.ppm"
+    rc = main(
+        [
+            "render", "--size", "16", "--gpus", "1", "--image", "32",
+            "--shading", "--auto-tf", "--out", str(out),
+        ]
+    )
+    assert rc == 0 and out.exists()
+
+
+def test_cli_sweep_fig3(capsys):
+    rc = main(["sweep", "--figure", "fig3", "--sizes", "64", "--gpus", "1,4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fig 3" in out and "64^3" in out
+
+
+def test_cli_analyze(capsys):
+    rc = main(["analyze", "--size", "128"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "§6.3" in out
+
+
+def test_cli_rotate(capsys):
+    rc = main(
+        ["rotate", "--size", "64", "--gpus", "2", "--frames", "3", "--image", "128"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "steady frame" in out and "FPS" in out
+
+
+def test_cli_rotate_streaming(capsys):
+    rc = main(
+        ["rotate", "--size", "64", "--gpus", "2", "--frames", "2",
+         "--image", "128", "--no-resident"]
+    )
+    assert rc == 0
+    assert "streaming" in capsys.readouterr().out

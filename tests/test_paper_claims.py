@@ -1,0 +1,78 @@
+"""The paper's headline claims, verified at test level.
+
+The full figure grids live in ``benchmarks/``; these are the handful of
+sentences a reader would quote from the paper, each checked end-to-end
+on the simulated Accelerator Cluster so that ``pytest tests/`` alone
+demonstrates the reproduction.
+"""
+
+import pytest
+
+from repro.baselines import PARAVIEW_REPORTED_VPS
+from repro.bench import figure_camera, sim_render
+from repro.perfmodel import find_sweet_spot
+
+
+@pytest.fixture(scope="module")
+def runtimes_128():
+    return {
+        n: sim_render(128, n).runtime for n in (1, 2, 4, 8, 16, 32)
+    }
+
+
+def test_claim_1024_under_one_second_on_8_gpus():
+    """Abstract: 'capable of rendering a 1024^3 floating-point sampled
+    volume in under one second using 8 GPUs'."""
+    res = sim_render(1024, 8)
+    assert res.runtime < 1.0, res.runtime
+
+
+def test_claim_interactive_rates(runtimes_128):
+    """Abstract: 'rendering speeds are adequate for interactive
+    visualization' — the small volume exceeds 2 FPS at its best."""
+    best = min(runtimes_128.values())
+    assert 1.0 / best > 2.0
+
+
+def test_claim_sweet_spot_8_gpus(runtimes_128):
+    """Fig. 3: 'the best runtime configuration is 8 GPUs ... with more
+    than 8 GPUs, there is too much communication'."""
+    assert find_sweet_spot(runtimes_128) in (8, 16)
+    assert runtimes_128[32] > runtimes_128[8]
+
+
+def test_claim_1024_scales_past_8():
+    """Fig. 3: 'the additional communication with 32 GPUs over 16 GPUs
+    is outweighed by the saving in compute time' for 1024^3."""
+    t8 = sim_render(1024, 8).runtime
+    t16 = sim_render(1024, 16).runtime
+    t32 = sim_render(1024, 32).runtime
+    assert t32 < t16 < t8
+
+
+def test_claim_double_paraview_at_16_gpus():
+    """Footnote 1: 'Using 16 GPUs on 4 nodes, we achieve more than
+    double [ParaView's 346M VPS]'."""
+    res = sim_render(1024, 16)
+    vps = 1024**3 / res.runtime
+    assert vps > 2 * PARAVIEW_REPORTED_VPS
+
+
+def test_claim_scales_with_volume_size():
+    """Abstract: 'our system scales with respect to the size of the
+    volume' — VPS grows as volumes grow, at fixed GPU count."""
+    vps = {
+        s: s**3 / sim_render(s, 8).runtime for s in (128, 256, 512, 1024)
+    }
+    assert vps[128] < vps[256] < vps[512] < vps[1024]
+
+
+def test_claim_computation_no_longer_bottleneck():
+    """§6.3: 'fitting parallel volume rendering into a multi-GPU
+    MapReduce model severely reduces computation as a bottleneck' — at
+    32 GPUs the map compute is a small fraction of a single GPU's."""
+    t1_map = sim_render(512, 1).outcome.breakdown.map
+    r32 = sim_render(512, 32).outcome
+    assert r32.breakdown.map < t1_map / 8
+    # and communication (partition+io) now exceeds compute there.
+    assert r32.breakdown.partition_io > r32.breakdown.map

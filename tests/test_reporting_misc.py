@@ -1,0 +1,106 @@
+"""Tests for report formatting, trace utilities, and small helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_series, format_table
+from repro.core import JobStats, MapWork, SimClusterExecutor
+from repro.render.raycast import MapStats
+from repro.sim import ClusterRuntime, Trace, accelerator_cluster
+from repro.sim import trace as T
+
+
+# -- table formatting -------------------------------------------------------
+def test_format_table_alignment_and_title():
+    rows = [
+        {"name": "map", "seconds": 0.12345},
+        {"name": "reduce", "seconds": 12345.6},
+    ]
+    out = format_table(rows, title="Stages")
+    lines = out.splitlines()
+    assert lines[0] == "Stages"
+    assert "name" in lines[1] and "seconds" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "0.1234" in out or "0.1235" in out
+    assert "12,346" in out  # thousands separator for big floats
+
+
+def test_format_table_empty_and_column_selection():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+    rows = [{"a": 1, "b": 2}]
+    out = format_table(rows, columns=["b"])
+    assert "b" in out and "a" not in out
+
+
+def test_format_series():
+    s = format_series("128^3", [1, 2, 4], [0.5, 0.25, 0.125], "runtime")
+    assert s.startswith("128^3 [runtime]:")
+    assert "1→0.5" in s and "4→0.125" in s
+
+
+# -- trace utilities ---------------------------------------------------------
+def test_trace_gantt_rows_sorted():
+    tr = Trace()
+    tr.record(T.CAT_KERNEL, "gpu1", 2.0, 3.0)
+    tr.record(T.CAT_H2D, "gpu0", 0.0, 1.0)
+    tr.record(T.CAT_NET, "node0->node1", 0.5, 2.5, nbytes=100)
+    rows = tr.gantt_rows()
+    assert rows[0][0] == "gpu0"
+    assert [r[2] for r in rows] == sorted(r[2] for r in rows)
+    assert tr.bytes_moved(T.CAT_NET) == 100
+
+
+def test_trace_by_category():
+    tr = Trace()
+    tr.record(T.CAT_KERNEL, "gpu0", 0, 1)
+    tr.record(T.CAT_KERNEL, "gpu1", 1, 2)
+    tr.record(T.CAT_SORT, "node0", 2, 3)
+    cats = tr.by_category()
+    assert len(cats[T.CAT_KERNEL]) == 2
+    assert len(cats[T.CAT_SORT]) == 1
+
+
+# -- utilization report --------------------------------------------------------
+def test_utilization_report_fresh_cluster_zero():
+    rt = ClusterRuntime(accelerator_cluster(2))
+    rep = rt.utilization_report()
+    assert set(rep) == {"gpu_engines", "nic_tx", "nic_rx", "cpus", "disks"}
+    assert all(v == 0.0 for v in rep.values())
+
+
+def test_utilization_report_after_job():
+    works = [
+        MapWork(i, i % 4, 1 << 20, 4096, 2_000_000, 4000, np.full(4, 1000, np.int64))
+        for i in range(8)
+    ]
+    _, cluster = SimClusterExecutor(accelerator_cluster(4)).execute(works, 24)
+    rep = cluster.utilization_report()
+    assert 0 < rep["gpu_engines"] <= 1.0
+    assert 0 <= rep["cpus"] <= 1.0
+    assert rep["disks"] == 0.0  # no disk reads charged
+
+
+# -- small stats helpers --------------------------------------------------------
+def test_mapstats_merge():
+    a = MapStats(1, 2, 3, 4, 5)
+    b = MapStats(10, 20, 30, 40, 50)
+    m = a.merge(b)
+    assert (m.n_rays, m.n_active_rays, m.n_samples, m.n_emitted, m.n_kept) == (
+        11,
+        22,
+        33,
+        44,
+        55,
+    )
+
+
+def test_jobstats_dict_and_discard_fraction():
+    st = JobStats()
+    st.add_map({"n_rays": 100, "n_samples": 1000}, emitted=100, kept=75)
+    assert st.discard_fraction == pytest.approx(0.25)
+    d = st.as_dict()
+    assert d["n_chunks"] == 1 and d["n_rays"] == 100
+    assert "stage_breakdown" not in d  # no breakdown attached yet
+    empty = JobStats()
+    assert empty.discard_fraction == 0.0

@@ -1,0 +1,126 @@
+"""Tests for gradient estimation and Phong shading — including the
+bricked-equals-reference invariant with shading enabled."""
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    PhongParams,
+    RenderConfig,
+    central_gradient,
+    default_tf,
+    max_abs_diff,
+    orbit_camera,
+    render_reference,
+    shade_phong,
+)
+from repro.volume import BrickGrid, Volume, make_dataset
+
+
+def test_phong_params_validation():
+    with pytest.raises(ValueError):
+        PhongParams(ambient=-0.1)
+    with pytest.raises(ValueError):
+        PhongParams(shininess=0.0)
+
+
+def test_gradient_of_linear_field_is_exact():
+    """∇(ax+by+cz) must be (a,b,c) everywhere away from edges."""
+    n = 8
+    x, y, z = np.mgrid[0:n, 0:n, 0:n].astype(np.float32)
+    data = 2.0 * x + 3.0 * y - 1.5 * z
+    pos = np.array([[4.0, 4.0, 4.0], [2.5, 5.5, 3.0], [6.0, 2.0, 5.0]])
+    g = central_gradient(data, pos)
+    assert np.allclose(g, [[2.0, 3.0, -1.5]] * 3, atol=1e-4)
+
+
+def test_gradient_zero_in_constant_field():
+    data = np.full((6, 6, 6), 0.7, np.float32)
+    g = central_gradient(data, np.array([[3.0, 3.0, 3.0]]))
+    assert np.allclose(g, 0.0)
+
+
+def test_gradient_stencil_validation():
+    data = np.zeros((4, 4, 4), np.float32)
+    with pytest.raises(ValueError):
+        central_gradient(data, np.zeros((1, 3)), h=0.0)
+
+
+def test_shade_phong_zero_gradient_passthrough():
+    rgb = np.array([[0.5, 0.4, 0.3]], np.float32)
+    grad = np.zeros((1, 3), np.float32)
+    view = np.array([[0.0, 1.0, 0.0]])
+    out = shade_phong(rgb, grad, view)
+    assert np.allclose(out, rgb)
+
+
+def test_shade_phong_facing_brighter_than_grazing():
+    """A surface facing the headlight is brighter than one edge-on."""
+    rgb = np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]], np.float32)
+    view = np.array([[0.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+    grads = np.array([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0]], np.float32)
+    out = shade_phong(rgb, grads, view)
+    assert out[0].mean() > out[1].mean()
+    # Grazing sample keeps only the ambient term.
+    assert np.allclose(out[1], 0.5 * PhongParams().ambient, atol=1e-5)
+
+
+def test_shade_phong_two_sided():
+    """Gradients pointing toward or away from the light shade equally
+    (shells have no consistent orientation)."""
+    rgb = np.full((2, 3), 0.5, np.float32)
+    view = np.array([[0.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+    grads = np.array([[0.0, -1.0, 0.0], [0.0, 1.0, 0.0]], np.float32)
+    out = shade_phong(rgb, grads, view)
+    assert np.allclose(out[0], out[1])
+
+
+def test_shade_phong_output_clipped():
+    rgb = np.full((1, 3), 1.0, np.float32)
+    view = np.array([[0.0, 1.0, 0.0]])
+    grads = np.array([[0.0, -5.0, 0.0]], np.float32)
+    out = shade_phong(rgb, grads, view, PhongParams(specular=5.0))
+    assert np.all(out <= 1.0)
+
+
+def test_shade_phong_shape_validation():
+    with pytest.raises(ValueError):
+        shade_phong(np.zeros((2, 3)), np.zeros((3, 3)), np.zeros((2, 3)))
+
+
+def test_fetches_per_sample():
+    assert RenderConfig(shading=False).fetches_per_sample == 1
+    assert RenderConfig(shading=True).fetches_per_sample == 7
+
+
+def test_shaded_bricked_render_equals_reference():
+    """The key invariant survives shading: the ±½-voxel gradient stencil
+    stays inside the ghost shell, so bricked == reference exactly."""
+    v = make_dataset("supernova", (20, 20, 20))
+    cam = orbit_camera(v.shape, azimuth_deg=25, elevation_deg=30, width=40, height=40)
+    tf = default_tf()
+    cfg = RenderConfig(dt=0.8, ert_alpha=1.0, shading=True)
+    ref = render_reference(v, cam, tf, cfg)
+    from tests.test_raycast import render_bricked
+
+    grid = BrickGrid(v.shape, 10, ghost=1)
+    img, _, _ = render_bricked(v, grid, cam, tf, cfg)
+    assert max_abs_diff(img, ref.image) < 1e-4
+
+
+def test_shading_changes_the_image():
+    v = make_dataset("skull", (20, 20, 20))
+    cam = orbit_camera(v.shape, width=40, height=40)
+    tf = default_tf()
+    flat = render_reference(v, cam, tf, RenderConfig(dt=0.8))
+    lit = render_reference(v, cam, tf, RenderConfig(dt=0.8, shading=True))
+    assert max_abs_diff(flat.image, lit.image) > 0.01
+
+
+def test_shading_counts_extra_fetches():
+    v = make_dataset("skull", (16, 16, 16))
+    cam = orbit_camera(v.shape, width=32, height=32)
+    tf = default_tf()
+    flat = render_reference(v, cam, tf, RenderConfig(dt=1.0, ert_alpha=1.0))
+    lit = render_reference(v, cam, tf, RenderConfig(dt=1.0, ert_alpha=1.0, shading=True))
+    assert lit.stats.n_samples == 7 * flat.stats.n_samples
