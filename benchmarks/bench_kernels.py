@@ -43,6 +43,24 @@ def test_bench_raycast_kernel(benchmark):
     assert stats.n_samples > 0
 
 
+@pytest.mark.parametrize("block_size", [1, 8, 64])
+def test_bench_raycast_block_size(benchmark, block_size):
+    """ERT-vs-throughput tradeoff of the blocked marcher's block length."""
+    cfg = RenderConfig(dt=1.0, block_size=block_size)
+    frags, stats = benchmark(
+        raycast_brick,
+        VOL.data,
+        (0, 0, 0),
+        (0, 0, 0),
+        VOL.shape,
+        VOL.shape,
+        CAM,
+        TF,
+        cfg,
+    )
+    assert stats.n_samples > 0
+
+
 def test_bench_trilinear_sample(benchmark):
     pos = RNG.uniform(1, 31, (100_000, 3))
     out = benchmark(trilinear_sample, VOL.data, pos)

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Kernel micro-benchmark regression check.
+#
+# Usage:
+#   benchmarks/run_kernels.sh [output.json]
+#
+# Runs the functional-kernel micro-benchmarks and writes a
+# pytest-benchmark JSON (default: BENCH_kernels.json at the repo root).
+# Compare against the committed baseline with e.g.:
+#   python - <<'EOF'
+#   import json
+#   base = {b["name"]: b["stats"]["mean"] for b in json.load(open("BENCH_kernels.json"))["benchmarks"]}
+#   new = {b["name"]: b["stats"]["mean"] for b in json.load(open("/tmp/new.json"))["benchmarks"]}
+#   for k in sorted(base):
+#       if k in new:
+#           print(f"{k}: {base[k]*1e3:8.2f} ms -> {new[k]*1e3:8.2f} ms  ({base[k]/new[k]:.2f}x)")
+#   EOF
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_kernels.json}"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_kernels.py --benchmark-only \
+    --benchmark-json="$OUT" -q
+echo "wrote $OUT"

@@ -19,7 +19,12 @@ from .partition import (
     TiledPartitioner,
 )
 from .scheduler import MapWork, SimOutcome, run_simulated_job
-from .sort import SortResult, counting_sort_pairs, run_length_groups
+from .sort import (
+    SortResult,
+    counting_sort_pairs,
+    run_length_groups,
+    stable_counting_order,
+)
 from .stats import JobStats
 from .stream import SendBuffer, split_message_sizes
 
@@ -49,6 +54,7 @@ __all__ = [
     "counting_sort_pairs",
     "discard_placeholders",
     "run_length_groups",
+    "stable_counting_order",
     "run_simulated_job",
     "split_message_sizes",
     "validate_pairs",

@@ -5,11 +5,17 @@ amount of data) that runs in θ(n) since the library knows the minimum
 and maximum keys for each node, as well as the maximum number of keys."
 
 The implementation builds the key histogram with ``np.bincount`` (one
-linear pass), converts it to starting offsets with a prefix sum, and
-scatters elements to their slots.  NumPy's stable integer ``argsort`` is
-a radix sort — also linear — and is used for the in-slot ordering so the
-sort is **stable**: pairs with equal keys keep arrival order, which makes
-distributed runs deterministic.
+linear pass) and converts it to slot offsets with a prefix sum.  Those
+offsets make a comparison sort redundant: each pair's destination is its
+key's slot start plus its arrival rank among equal keys, so one stable
+linear scatter finishes the sort.  The scatter
+(:func:`stable_counting_order`) runs at C speed through SciPy's COO→CSR
+placement kernel (exactly the textbook counting-sort loop, preserving
+arrival order within each key); when SciPy is absent we fall back to
+NumPy's stable integer ``argsort``.  Stability means pairs with equal
+keys keep arrival order, which makes distributed runs deterministic.
+The same scatter is the building block of the Reduce side's
+(pixel, depth) radix sort in :mod:`repro.render.compositing`.
 """
 
 from __future__ import annotations
@@ -18,7 +24,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["counting_sort_pairs", "run_length_groups", "SortResult"]
+_UNRESOLVED = object()
+_sp_tools = _UNRESOLVED  # lazily resolved on first use (SciPy import is slow)
+
+
+def _load_counting_scatter():
+    """Import SciPy's COO→CSR placement kernel and prove it still works.
+
+    ``coo_tocsr`` is private SciPy API, so guard against signature or
+    semantics drift (not just absence) with a tiny known-answer sort;
+    any failure selects the pure-NumPy argsort fallback.
+    """
+    try:  # pragma: no cover - exercised via stable_counting_order
+        from scipy.sparse import _sparsetools as tools
+
+        keys = np.array([2, 0, 2, 1], dtype=np.int32)
+        arrival = np.arange(4, dtype=np.int32)
+        indptr = np.zeros(4, dtype=np.int32)
+        cols = np.empty(4, dtype=np.int32)
+        order = np.empty(4, dtype=np.int32)
+        tools.coo_tocsr(3, 4, 4, keys, arrival, arrival, indptr, cols, order)
+        if not np.array_equal(order, [1, 3, 0, 2]):
+            return None
+        return tools
+    except Exception:  # pragma: no cover
+        return None
+
+__all__ = [
+    "counting_scatter_available",
+    "counting_sort_pairs",
+    "run_length_groups",
+    "stable_counting_order",
+    "SortResult",
+]
 
 
 @dataclass
@@ -38,6 +76,63 @@ class SortResult:
     @property
     def n_groups(self) -> int:
         return len(self.unique_keys)
+
+
+def counting_scatter_available() -> bool:
+    """Whether the C counting-scatter fast path is usable (resolves lazily)."""
+    global _sp_tools
+    if _sp_tools is _UNRESOLVED:
+        _sp_tools = _load_counting_scatter()
+    return _sp_tools is not None
+
+
+def stable_counting_order(keys: np.ndarray, n_slots: int) -> np.ndarray:
+    """Stable bucket-major order of ``keys`` (dense ints in [0, n_slots)).
+
+    The SciPy path is a single-pass counting scatter: COO→CSR placement
+    walks the entries once in arrival order, dropping each into the next
+    free slot of its key's run (the runs come from the histogram prefix
+    sum).  Arrival indices ride along as the payload column and come back
+    bucket-major — the stable sort permutation — with no comparisons.
+    Falls back to NumPy's stable ``argsort`` without SciPy or for sizes
+    past int32 indexing.
+    """
+    global _sp_tools
+    if _sp_tools is _UNRESOLVED:
+        _sp_tools = _load_counting_scatter()
+    n = len(keys)
+    if _sp_tools is not None and 0 < n < 2**31 and n_slots < 2**31:
+        keys = np.asarray(keys)
+        # The C placement loop does no bounds checking; a bad key would
+        # corrupt memory rather than raise, so validate here — before the
+        # int32 cast, which would let an oversized key wrap into range.
+        if keys.min() < 0 or keys.max() >= n_slots:
+            raise ValueError(
+                f"keys outside [0, {n_slots}) in stable_counting_order"
+            )
+        keys32 = np.ascontiguousarray(keys, dtype=np.int32)
+        arrival = np.arange(n, dtype=np.int32)
+        indptr = np.zeros(n_slots + 1, dtype=np.int32)
+        cols = np.empty(n, dtype=np.int32)
+        order = np.empty(n, dtype=np.int32)
+        _sp_tools.coo_tocsr(n_slots, n, n, keys32, arrival, arrival, indptr, cols, order)
+        return order
+    return np.argsort(keys, kind="stable")
+
+
+def _permute_records(pairs: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """``pairs[order]`` but ~3× faster for plain fixed-width records.
+
+    Fancy indexing on structured dtypes goes through a slow per-field
+    path; reinterpreting the records as rows of a word-sized 2-D array
+    lets ``np.take`` move each 24-byte record as a contiguous row.
+    """
+    n = len(pairs)
+    itemsize = pairs.dtype.itemsize
+    if pairs.flags.c_contiguous and itemsize % 4 == 0:
+        rows = pairs.view(np.int32).reshape(n, itemsize // 4)
+        return np.take(rows, order, axis=0).view(pairs.dtype).reshape(n)
+    return pairs[order]
 
 
 def counting_sort_pairs(
@@ -69,10 +164,10 @@ def counting_sort_pairs(
             f"got [{keys.min()}, {keys.max()}]"
         )
     shifted = keys - min_key
-    hist = np.bincount(shifted, minlength=max_key - min_key + 1)
-    # Stable linear scatter: NumPy's stable argsort on integers is radix.
-    order = np.argsort(shifted, kind="stable")
-    sorted_pairs = pairs[order]
+    n_slots = max_key - min_key + 1
+    hist = np.bincount(shifted, minlength=n_slots)
+    order = stable_counting_order(shifted, n_slots)
+    sorted_pairs = _permute_records(pairs, order)
     present = np.nonzero(hist)[0]
     counts = hist[present]
     starts = np.concatenate([[0], np.cumsum(counts)[:-1]])

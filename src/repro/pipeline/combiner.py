@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.api import Combiner
 from ..core.sort import run_length_groups
-from ..render.compositing import group_ranks
+from ..render.compositing import fold_depth_runs
 from ..render.fragments import FRAGMENT_DTYPE, make_fragments
 
 __all__ = ["FragmentCombiner"]
@@ -43,15 +43,9 @@ class FragmentCombiner(Combiner):
             # The common case the paper observed: nothing to merge.
             self.pairs_out += len(pairs)
             return pairs
-        gid = np.repeat(np.arange(len(keys)), counts)
-        ranks = group_ranks(gid)
         rgba = np.stack([f["r"], f["g"], f["b"], f["a"]], axis=1)
-        out = np.zeros((len(keys), 4), dtype=np.float32)
-        for r in range(int(ranks.max()) + 1):
-            sel = ranks == r
-            g = gid[sel]
-            one_m = (1.0 - out[g, 3])[:, None]
-            out[g] += one_m * rgba[sel]
+        # Same segmented-scan fold the reducer and compositors use.
+        out = fold_depth_runs(rgba, starts)
         depth = f["depth"][starts]
         merged = make_fragments(keys.astype(np.int32), depth, out)
         self.pairs_out += len(merged)

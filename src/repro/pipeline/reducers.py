@@ -17,7 +17,7 @@ import numpy as np
 
 from ..core.api import Reducer
 from ..core.sort import run_length_groups
-from ..render.compositing import group_ranks
+from ..render.compositing import fold_depth_runs
 
 __all__ = ["CompositeReducer", "MaxReducer"]
 
@@ -42,14 +42,9 @@ class CompositeReducer(Reducer):
         f = pairs[order]
         keys, starts, counts = run_length_groups(f["pixel"])
         rgba = np.stack([f["r"], f["g"], f["b"], f["a"]], axis=1)
-        gid = np.repeat(np.arange(len(keys)), counts)
-        ranks = group_ranks(gid)
-        out = np.zeros((len(keys), 4), dtype=np.float32)
-        for r in range(int(ranks.max()) + 1):
-            sel = ranks == r
-            g = gid[sel]
-            one_m = (1.0 - out[g, 3])[:, None]
-            out[g] += one_m * rgba[sel]
+        # One segmented transmittance scan + one segmented sum replaces
+        # the per-depth-rank blend loop.
+        out = fold_depth_runs(rgba, starts)
         if self.background is not None:
             alpha = out[:, 3:4]
             out = out.copy()

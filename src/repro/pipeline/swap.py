@@ -32,6 +32,7 @@ from ..baselines.binary_swap import swap_partial_images
 from ..core.api import Partitioner
 from ..render.camera import Camera
 from ..render.compositing import composite_fragments
+from ..render.fragments import concat_fragments
 from ..render.raycast import RenderConfig, raycast_brick
 from ..render.transfer import TransferFunction1D
 from ..volume.bricking import BrickGrid
@@ -140,11 +141,10 @@ def render_swap(
                 config=config,
             )
             parts.append(frags)
-        frag_counts.append(sum(len(p) for p in parts))
-        if frag_counts[-1] > 0:
-            flat = composite_fragments(np.concatenate(parts), camera.pixel_count)
-        else:
-            flat = np.zeros((camera.pixel_count, 4), dtype=np.float32)
+        merged = concat_fragments(parts)
+        frag_counts.append(len(merged))
+        # composite_fragments handles the empty slab (all-transparent image).
+        flat = composite_fragments(merged, camera.pixel_count)
         partials.append(flat.reshape(camera.height, camera.width, 4))
     image = swap_partial_images(partials)
     return SwapRenderResult(

@@ -7,6 +7,7 @@ from .compositing import (
     composite_pixel_fragments,
     group_ranks,
     over,
+    segmented_exclusive_cumprod,
 )
 from .fragments import (
     FRAGMENT_DTYPE,
@@ -74,6 +75,7 @@ __all__ = [
     "render_reference",
     "rgba_to_rgb8",
     "rgba_view",
+    "segmented_exclusive_cumprod",
     "stitch_pixels",
     "trilinear_sample",
     "write_ppm",

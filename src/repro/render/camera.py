@@ -131,6 +131,30 @@ class Camera:
         o, d = self.rays_for_pixels(px, py)
         return o, d, self.pixel_index(px, py)
 
+    def rect_rays_f32(self, rect: PixelRect) -> tuple[np.ndarray, np.ndarray]:
+        """(unit dirs float32, pixel keys) for a rect — the kernel fast path.
+
+        A camera is immutable and every brick of a frame shares it, so the
+        full-viewport direction grid is computed once, cached, and sliced
+        per brick footprint — per-chunk ray setup then costs one contiguous
+        copy instead of a trig-and-normalize pass.
+        """
+        cache = getattr(self, "_dirs32_grid", None)
+        if cache is None:
+            px, py = self.full_rect().pixel_coords()
+            _, d = self.rays_for_pixels(px, py)
+            cache = np.ascontiguousarray(
+                d.reshape(self.height, self.width, 3), dtype=np.float32
+            )
+            object.__setattr__(self, "_dirs32_grid", cache)
+        dirs = np.ascontiguousarray(
+            cache[rect.y0 : rect.y1, rect.x0 : rect.x1]
+        ).reshape(-1, 3)
+        xs = np.arange(rect.x0, rect.x1, dtype=np.int32)
+        ys = np.arange(rect.y0, rect.y1, dtype=np.int32)
+        keys = (ys[:, None] * np.int32(self.width) + xs[None, :]).reshape(-1)
+        return dirs, keys
+
     def pixel_index(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
         """The paper's MapReduce key: ``y * width + x`` as int32."""
         return (np.asarray(py) * self.width + np.asarray(px)).astype(np.int32)

@@ -5,7 +5,13 @@ and partial per-brick rays can be combined in any grouping as long as
 depth order is respected.  The paper composites "all ray fragments for a
 given pixel ... ascending-depth sorted, composited, and blended against
 the background color"; :func:`composite_fragments` is that operation,
-vectorised across every pixel at once (rank-layered blending).
+vectorised across every pixel at once.
+
+The workhorse is :func:`segmented_exclusive_cumprod`: with fragments
+sorted by (pixel, depth), the transmittance in front of each fragment is
+the exclusive running product of ``(1 − α)`` within its pixel's run, so
+the whole image reduces to one segmented scan plus one segmented sum —
+no per-depth-rank Python iteration.
 """
 
 from __future__ import annotations
@@ -14,14 +20,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .fragments import FRAGMENT_DTYPE, fragment_sort_order
+from ..core.sort import counting_scatter_available, stable_counting_order
+from .fragments import FRAGMENT_DTYPE, rgba_view
 
 __all__ = [
     "over",
     "composite_fragments",
     "composite_pixel_fragments",
     "blend_background",
+    "fold_depth_runs",
     "group_ranks",
+    "segmented_exclusive_cumprod",
 ]
 
 
@@ -44,16 +53,107 @@ def group_ranks(sorted_keys: np.ndarray) -> np.ndarray:
     return pos - run_start
 
 
+def segmented_exclusive_cumprod(
+    values: np.ndarray, seg_start: np.ndarray, max_run: Optional[int] = None
+) -> np.ndarray:
+    """Exclusive running product of ``values`` within each segment.
+
+    ``seg_start`` is a boolean mask flagging the first element of every
+    segment (element 0 must be flagged).  Returns ``out`` with
+    ``out[j] = Π values[i]`` over the elements ``i`` of ``j``'s segment
+    that precede ``j`` (so 1.0 at each segment start).  ``max_run``, when
+    the caller already knows an upper bound on the longest segment,
+    skips one pass over the data.
+
+    Implemented as a Hillis–Steele doubling scan: ``ceil(log2(max run))``
+    vectorised passes, each a masked elementwise multiply — the GPU-style
+    replacement for iterating depth ranks one at a time.  Zeros are fine
+    (no division anywhere), which matters because a fully opaque fragment
+    has ``1 − α = 0``.  This one scan serves both the Reduce-side
+    compositors here and the ray-cast kernel's in-block fold.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    seg_start = np.asarray(seg_start, dtype=bool)
+    # Shift values right by one inside each segment: an inclusive scan of
+    # the shifted sequence is the exclusive scan of the original.
+    p = np.empty(n, dtype=np.float32)
+    p[0] = 1.0
+    p[1:] = values[:-1]
+    p[seg_start] = 1.0
+    seg_id = np.cumsum(seg_start)
+    if max_run is None:
+        starts_idx = np.nonzero(seg_start)[0]
+        max_run = int(np.diff(np.r_[starts_idx, n]).max())
+    shift = 1
+    while shift < max_run:
+        same = seg_id[shift:] == seg_id[:-shift]
+        p[shift:] = np.where(same, p[shift:] * p[:-shift], p[shift:])
+        shift <<= 1
+    return p
+
+
+def fold_depth_runs(rgba: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Front-to-back *over* fold of depth-sorted runs → one RGBA per run.
+
+    ``rgba`` rows must be grouped into runs (one per pixel) with depth
+    ascending inside each; ``starts`` lists every run's first row index
+    (``starts[0] == 0``).  One segmented transmittance scan plus one
+    segmented sum — the shared Reduce-side fold used by the compositors,
+    the reducer, and the combiner.
+    """
+    seg_start = np.zeros(len(rgba), dtype=bool)
+    seg_start[starts] = True
+    trans = segmented_exclusive_cumprod(1.0 - rgba[:, 3], seg_start)
+    out = np.add.reduceat(trans[:, None] * rgba, starts, axis=0)
+    return out.astype(np.float32, copy=False)
+
+
+def _depth_rank_bits(depth: np.ndarray) -> np.ndarray:
+    """Monotone uint32 image of float32 depths.
+
+    Adding +0.0 first canonicalizes −0.0 to +0.0 so the two zeros
+    compare equal (as ``np.lexsort`` treats them) instead of ordering
+    by sign bit — equal-depth fragments must keep arrival order.
+    """
+    canon = np.asarray(depth, dtype=np.float32) + np.float32(0.0)
+    bits = canon.view(np.uint32)
+    neg = bits >> np.uint32(31)
+    return np.where(neg.astype(bool), ~bits, bits ^ np.uint32(0x80000000))
+
+
+def _pixel_depth_order(pix: np.ndarray, n_pixels: int, depth: np.ndarray) -> np.ndarray:
+    """Stable (pixel, depth)-ascending permutation, θ(n).
+
+    A three-pass LSD radix built from the Sort stage's counting scatter:
+    two 16-bit passes order by depth, one dense pass groups by pixel.
+    Each pass is stable, so the composition is the stable lexicographic
+    order — the same result as ``np.lexsort`` at a fraction of the cost.
+    Without the C scatter, three argsort passes would cost *more* than
+    one lexsort, so fall back to lexsort directly.
+    """
+    if not counting_scatter_available():
+        return np.lexsort((depth, pix))
+    key = _depth_rank_bits(depth)
+    o1 = stable_counting_order((key & np.uint32(0xFFFF)).astype(np.int32), 1 << 16)
+    o2 = stable_counting_order(
+        np.take((key >> np.uint32(16)).astype(np.int32), o1), 1 << 16
+    )
+    o12 = np.take(o1, o2)
+    o3 = stable_counting_order(np.take(pix, o12), n_pixels)
+    return np.take(o12, o3)
+
+
 def composite_pixel_fragments(fragments: np.ndarray) -> np.ndarray:
     """Composite one pixel's fragments (ascending depth) → RGBA (premult)."""
     if fragments.dtype != FRAGMENT_DTYPE:
         raise TypeError("expected fragment records")
+    if len(fragments) == 0:
+        return np.zeros(4, dtype=np.float32)
     order = np.argsort(fragments["depth"], kind="stable")
-    out = np.zeros(4, dtype=np.float32)
-    for f in fragments[order]:
-        frag = np.array([f["r"], f["g"], f["b"], f["a"]], dtype=np.float32)
-        out = out + (1.0 - out[3]) * frag
-    return out
+    return fold_depth_runs(rgba_view(fragments[order]), np.array([0]))[0]
 
 
 def composite_fragments(
@@ -70,22 +170,18 @@ def composite_fragments(
     out = np.zeros((n_pixels, 4), dtype=np.float32)
     if len(fragments) == 0:
         return out
-    order = fragment_sort_order(fragments)
-    f = fragments[order]
-    pix = f["pixel"].astype(np.int64) - pixel_base
-    if pix.min() < 0 or pix.max() >= n_pixels:
+    pix_raw = fragments["pixel"].astype(np.int32) - np.int32(pixel_base)
+    if pix_raw.min() < 0 or pix_raw.max() >= n_pixels:
         raise ValueError("fragment pixel key outside reducer range")
-    ranks = group_ranks(pix)
-    rgba = np.stack([f["r"], f["g"], f["b"], f["a"]], axis=1)
-    # Layer-by-layer front-to-back blend: at rank r every pixel appears at
-    # most once, so fancy indexing is race-free.  Iteration count equals
-    # the deepest fragment list, which the paper bounds by the brick
-    # count B (upper bound O(B·X) total fragments).
-    for r in range(int(ranks.max()) + 1):
-        sel = ranks == r
-        p = pix[sel]
-        one_m = (1.0 - out[p, 3])[:, None]
-        out[p] += one_m * rgba[sel]
+    order = _pixel_depth_order(pix_raw, n_pixels, fragments["depth"])
+    pix = np.take(pix_raw, order)
+    rgba = np.empty((len(order), 4), dtype=np.float32)
+    rgba[:, 0] = np.take(fragments["r"], order)
+    rgba[:, 1] = np.take(fragments["g"], order)
+    rgba[:, 2] = np.take(fragments["b"], order)
+    rgba[:, 3] = np.take(fragments["a"], order)
+    starts = np.nonzero(np.r_[True, pix[1:] != pix[:-1]])[0]
+    out[pix[starts]] = fold_depth_runs(rgba, starts)
     return out
 
 

@@ -1,10 +1,11 @@
 """Single-pass reference renderer.
 
 Treats the entire volume as one brick and runs the same kernel the
-distributed pipeline uses.  Because the MapReduce renderer samples on the
-identical global-t lattice, its composited output must equal this
-reference exactly (with early termination disabled) — the strongest
-end-to-end correctness check available.
+distributed pipeline uses — including the blocked vectorized marcher, so
+``config.block_size`` tunes this path too.  Because the MapReduce
+renderer samples on the identical global-t lattice, its composited
+output must equal this reference exactly (with early termination
+disabled) — the strongest end-to-end correctness check available.
 """
 
 from __future__ import annotations

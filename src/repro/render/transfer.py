@@ -44,6 +44,9 @@ class TransferFunction1D:
         if not self.vmax > self.vmin:
             raise ValueError("vmax must exceed vmin")
         object.__setattr__(self, "table", t)
+        # Cached forward differences: lookup then needs one table gather and
+        # one diff gather instead of two table gathers plus a subtraction.
+        object.__setattr__(self, "_diff", t[1:] - t[:-1])
 
     @property
     def resolution(self) -> int:
@@ -53,15 +56,37 @@ class TransferFunction1D:
     def nbytes(self) -> int:
         return self.table.nbytes
 
-    def lookup(self, values: np.ndarray) -> np.ndarray:
-        """Linearly-interpolated RGBA for each scalar (clamp addressing)."""
-        v = np.asarray(values, dtype=np.float64)
-        u = (v - self.vmin) / (self.vmax - self.vmin)
-        u = np.clip(u, 0.0, 1.0) * (self.resolution - 1)
-        i0 = np.floor(u).astype(np.int64)
+    def table_coord(self, values: np.ndarray) -> np.ndarray:
+        """Scalar → clamped fractional table coordinate ``u ∈ [0, N−1]``.
+
+        Float32 with a fast path for the common unit domain ``[0, 1]``
+        (no rescale).  The ray-cast kernel uses ``u`` both for its
+        exact empty-space test and for :meth:`lookup_from_u`.
+        """
+        v = np.asarray(values, dtype=np.float32)
+        if self.vmin != 0.0 or self.vmax != 1.0:
+            v = (v - np.float32(self.vmin)) * np.float32(
+                1.0 / (self.vmax - self.vmin)
+            )
+        return np.clip(v, 0.0, 1.0) * np.float32(self.resolution - 1)
+
+    def lookup_from_u(self, u: np.ndarray) -> np.ndarray:
+        """RGBA for precomputed table coordinates (see :meth:`table_coord`)."""
+        i0 = u.astype(np.int32)  # u >= 0, so truncation is floor
         i0 = np.minimum(i0, self.resolution - 2)
-        f = (u - i0)[..., None].astype(np.float32)
-        return (1.0 - f) * self.table[i0] + f * self.table[i0 + 1]
+        f = (u - i0.astype(np.float32))[..., None]
+        return np.take(self.table, i0, axis=0) + f * np.take(
+            self._diff, i0, axis=0
+        )
+
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Linearly-interpolated RGBA for each scalar (clamp addressing).
+
+        Runs in float32 end-to-end — the CUDA texture unit this models
+        filters in reduced precision, and the ray caster's whole sample
+        path stays float32.
+        """
+        return self.lookup_from_u(self.table_coord(values))
 
     def opacity_threshold_value(self, alpha_eps: float = 1e-3) -> float:
         """Smallest scalar whose opacity exceeds ``alpha_eps``.
@@ -78,10 +103,18 @@ class TransferFunction1D:
 
 
 def opacity_correction(alpha: np.ndarray, dt: float) -> np.ndarray:
-    """Correct per-unit-length opacity for step size ``dt``."""
+    """Correct per-unit-length opacity for step size ``dt``.
+
+    Preserves the input float width (float32 stays float32 — no float64
+    intermediates on the render hot path).  ``dt == 1`` is the reference
+    step and needs no power at all.
+    """
     if dt <= 0:
         raise ValueError("dt must be positive")
-    return 1.0 - np.power(1.0 - np.minimum(alpha, 0.9999), dt)
+    clipped = np.minimum(alpha, 0.9999)
+    if dt == 1.0:
+        return clipped
+    return 1.0 - np.power(1.0 - clipped, dt)
 
 
 def _ramp(n: int, stops: Sequence[tuple[float, tuple[float, float, float, float]]]) -> np.ndarray:
