@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Worker-count scaling sweep of the shared-memory pool executor.
+
+Renders a multi-brick orbit end to end (real ray casting, real
+partition/sort/reduce, real images) through
+:class:`~repro.parallel.SharedMemoryPoolExecutor` at several pool sizes
+and records sustained frame throughput into a JSON report
+(default: ``BENCH_parallel.json`` at the repo root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        [--out BENCH_parallel.json] [--workers 1,2,4,8] [--size 48] \
+        [--gpus 8] [--frames 6] [--image 160]
+
+The report records the machine's usable core count alongside every
+row: speedup over the 1-worker pool is bounded by the cores actually
+available (a 1-core container time-slices all workers and shows ~1×
+regardless of pool size), so read ``speedup_vs_1_worker`` against
+``cpu_count``.  The in-process executor is measured too, as the
+no-pool baseline, and every pool render is checked bitwise against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MapReduceVolumeRenderer, RenderConfig, make_dataset  # noqa: E402
+from repro.parallel import usable_cores  # noqa: E402
+from repro.pipeline import render_rotation  # noqa: E402
+
+
+def orbit_fps(renderer, frames, image, keep_images=False):
+    """Sustained wall-clock FPS over one orbit (after a warmup frame)."""
+    # Warmup: publishes the arena, spawns workers, fills accel caches.
+    warm = render_rotation(
+        renderer, n_frames=1, mode="exec", width=image, height=image
+    )
+    t0 = time.perf_counter()
+    rot = render_rotation(
+        renderer,
+        n_frames=frames,
+        mode="exec",
+        width=image,
+        height=image,
+        keep_images=keep_images,
+    )
+    elapsed = time.perf_counter() - t0
+    del warm
+    return frames / elapsed, elapsed, rot
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel.json"))
+    ap.add_argument("--workers", default="1,2,4,8",
+                    help="comma-separated pool sizes to sweep")
+    ap.add_argument("--size", type=int, default=48, help="cubic volume edge")
+    ap.add_argument("--gpus", type=int, default=8,
+                    help="simulated GPU count (drives brick count/placement)")
+    ap.add_argument("--frames", type=int, default=6, help="orbit frames per row")
+    ap.add_argument("--image", type=int, default=160, help="image edge (pixels)")
+    args = ap.parse_args(argv)
+    sweep = [int(w) for w in args.workers.split(",") if w]
+
+    vol = make_dataset("skull", (args.size,) * 3)
+    cfg = RenderConfig(dt=0.75)
+
+    def make_renderer(**kw):
+        return MapReduceVolumeRenderer(
+            volume=vol, cluster=args.gpus, render_config=cfg, **kw
+        )
+
+    # Baseline: serial in-process executor (also the correctness oracle).
+    base = make_renderer()
+    base_fps, base_s, base_rot = orbit_fps(
+        base, args.frames, args.image, keep_images=True
+    )
+    print(f"inprocess baseline: {base_fps:6.2f} FPS  ({base_s:.2f}s "
+          f"for {args.frames} frames, {base_rot.results[0].n_bricks} bricks)")
+
+    rows = []
+    fps_by_workers = {}
+    for w in sweep:
+        with make_renderer(executor="pool", workers=w) as r:
+            fps, elapsed, rot = orbit_fps(
+                r, args.frames, args.image, keep_images=True
+            )
+        for img_pool, img_base in zip(rot.images, base_rot.images):
+            assert np.array_equal(img_pool, img_base), "pool image diverged"
+        fps_by_workers[w] = fps
+        rows.append(
+            {
+                "workers": w,
+                "frames": args.frames,
+                "elapsed_s": round(elapsed, 4),
+                "fps": round(fps, 3),
+                "speedup_vs_inprocess": round(fps / base_fps, 3),
+                "speedup_vs_1_worker": None,  # filled below
+            }
+        )
+        print(f"pool workers={w}: {fps:6.2f} FPS  ({elapsed:.2f}s, "
+              f"{fps / base_fps:.2f}x vs inprocess)")
+    ref = fps_by_workers.get(1, rows[0]["fps"] if rows else None)
+    for row in rows:
+        if ref:
+            row["speedup_vs_1_worker"] = round(row["fps"] / ref, 3)
+
+    report = {
+        "benchmark": "shared-memory pool executor scaling sweep",
+        "cpu_count": usable_cores(),
+        "note": (
+            "speedup is bounded by cpu_count: on a single-core machine all "
+            "pool sizes time-slice one core and stay near 1x"
+        ),
+        "params": {
+            "dataset": "skull",
+            "volume": [args.size] * 3,
+            "gpus_simulated": args.gpus,
+            "bricks": base_rot.results[0].n_bricks,
+            "frames": args.frames,
+            "image": [args.image, args.image],
+            "dt": cfg.dt,
+        },
+        "inprocess_fps": round(base_fps, 3),
+        "results": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

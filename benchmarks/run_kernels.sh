@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Kernel micro-benchmark regression check.
+# Kernel micro-benchmark regression check + parallel-executor scaling sweep.
 #
 # Usage:
-#   benchmarks/run_kernels.sh [output.json]
+#   benchmarks/run_kernels.sh [output.json] [parallel_output.json]
 #
-# Runs the functional-kernel micro-benchmarks and writes a
-# pytest-benchmark JSON (default: BENCH_kernels.json at the repo root).
-# Compare against the committed baseline with e.g.:
+# Runs the functional-kernel micro-benchmarks into a pytest-benchmark
+# JSON (default: BENCH_kernels.json at the repo root), then the
+# shared-memory pool executor's worker-count scaling sweep (1/2/4/8
+# workers over a multi-brick orbit) into BENCH_parallel.json.
+# Compare kernels against the committed baseline with e.g.:
 #   python - <<'EOF'
 #   import json
 #   base = {b["name"]: b["stats"]["mean"] for b in json.load(open("BENCH_kernels.json"))["benchmarks"]}
@@ -18,7 +20,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_kernels.json}"
+PAR_OUT="${2:-BENCH_parallel.json}"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_kernels.py --benchmark-only \
     --benchmark-json="$OUT" -q
 echo "wrote $OUT"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python \
+    benchmarks/bench_parallel.py --out "$PAR_OUT" --workers 1,2,4,8

@@ -27,6 +27,7 @@ Quickstart::
     # result.image is a (256, 256, 4) premultiplied RGBA array
 """
 
+from .parallel import SharedMemoryPoolExecutor
 from .pipeline import MapReduceVolumeRenderer, RenderResult
 from .render import (
     Camera,
@@ -53,6 +54,7 @@ __all__ = [
     "MapReduceVolumeRenderer",
     "RenderConfig",
     "RenderResult",
+    "SharedMemoryPoolExecutor",
     "TransferFunction1D",
     "Volume",
     "accelerator_cluster",

@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--dt", type=float, default=0.5)
     r.add_argument("--shading", action="store_true", help="gradient Phong shading")
     r.add_argument("--auto-tf", action="store_true", help="histogram-derived transfer function")
+    r.add_argument("--executor", default="inprocess", choices=["inprocess", "pool"],
+                   help="functional backend: serial in-process, or the "
+                        "shared-memory multiprocess pool")
+    r.add_argument("--workers", type=int, default=None,
+                   help="pool worker processes (default: one per simulated "
+                        "GPU, capped to the machine's cores)")
     r.add_argument("--out", default="render.ppm")
 
     s = sub.add_parser("sweep", help="regenerate a paper figure (simulated cluster)")
@@ -89,17 +95,23 @@ def _cmd_render(args) -> int:
         width=args.image,
         height=args.image,
     )
-    renderer = MapReduceVolumeRenderer(
+    with MapReduceVolumeRenderer(
         volume=volume,
         cluster=args.gpus,
         tf=tf,
         render_config=RenderConfig(dt=args.dt, shading=args.shading),
-    )
-    result = renderer.render(camera, mode="both")
+        executor=args.executor,
+        workers=args.workers,
+    ) as renderer:
+        result = renderer.render(camera, mode="both")
+        backend = args.executor
+        if backend == "pool":
+            backend = f"pool ({renderer.executor_workers} workers)"
     write_ppm(args.out, result.image)
     sb = result.outcome.breakdown
     print(f"rendered {args.dataset} {volume.resolution_label()} on "
-          f"{args.gpus} simulated GPUs ({result.n_bricks} bricks) -> {args.out}")
+          f"{args.gpus} simulated GPUs ({result.n_bricks} bricks, "
+          f"{backend} executor) -> {args.out}")
     print(f"simulated stages: map={sb.map:.4f}s partition+io={sb.partition_io:.4f}s "
           f"sort={sb.sort:.4f}s reduce={sb.reduce:.4f}s total={sb.total:.4f}s")
     return 0

@@ -25,7 +25,14 @@ from .scheduler import MapWork, SimOutcome, run_simulated_job
 from .sort import counting_sort_pairs
 from .stats import JobStats
 
-__all__ = ["InProcessResult", "InProcessExecutor", "SimClusterExecutor"]
+__all__ = [
+    "InProcessResult",
+    "InProcessExecutor",
+    "SimClusterExecutor",
+    "make_map_work",
+    "map_chunk_to_runs",
+    "merge_partition_runs",
+]
 
 
 @dataclass
@@ -38,11 +45,91 @@ class InProcessResult:
     works: list[MapWork]  # per-chunk counters, reusable by the simulator
 
 
+def map_chunk_to_runs(
+    spec, chunk: Chunk
+) -> tuple[list[np.ndarray], int, int, dict, np.ndarray]:
+    """Map + Partition one chunk: the per-"GPU" half of the pipeline.
+
+    Returns ``(per-reducer runs, emitted, kept, work counters, routed)``.
+    ``spec`` only needs the ``mapper``/``partitioner``/``combiner``/
+    ``kv``/``max_key``/``n_reducers`` attributes, so both a
+    :class:`~repro.core.job.MapReduceSpec` and the pool workers' frame
+    context qualify — the multiprocess executor's bitwise parity with
+    :class:`InProcessExecutor` holds *by construction* because every
+    execution path runs this exact function.
+    """
+    out = spec.mapper.map(chunk)
+    validate_pairs(out.pairs, spec.kv, spec.max_key)
+    emitted = len(out.pairs)
+    pairs = discard_placeholders(out.pairs, spec.kv)
+    if spec.combiner is not None:
+        pairs = spec.combiner.combine(pairs)
+    kept = len(pairs)
+    dests = spec.partitioner.partition(spec.kv.keys(pairs))
+    routed = np.zeros(spec.n_reducers, dtype=np.int64)
+    runs: list[np.ndarray] = []
+    for r in range(spec.n_reducers):
+        sel = pairs[dests == r]
+        routed[r] = len(sel)
+        runs.append(sel)
+    return runs, emitted, kept, out.work, routed
+
+
+def merge_partition_runs(
+    spec, runs_per_chunk: Sequence[Sequence[Optional[np.ndarray]]]
+) -> tuple[list[tuple[np.ndarray, np.ndarray]], np.ndarray]:
+    """Sort + Reduce every partition from its chunk-ordered runs.
+
+    ``runs_per_chunk[ci][r]`` is chunk ``ci``'s run for reducer ``r``
+    (None or empty when nothing was routed there).  Concatenation is in
+    chunk order — for distributed callers this, plus the stable counting
+    sort, is what makes results independent of completion order.
+    Returns per-reducer ``(keys, values)`` outputs and received-pair
+    counts.
+    """
+    n_red = spec.n_reducers
+    outputs: list[tuple[np.ndarray, np.ndarray]] = []
+    pairs_per_reducer = np.zeros(n_red, dtype=np.int64)
+    for r in range(n_red):
+        parts = [
+            runs[r]
+            for runs in runs_per_chunk
+            if runs is not None and runs[r] is not None and len(runs[r])
+        ]
+        if parts:
+            received = np.concatenate(parts)
+        else:
+            received = spec.kv.empty()
+        pairs_per_reducer[r] = len(received)
+        sr = counting_sort_pairs(received, spec.kv.key_field, 0, spec.max_key)
+        keys, values = spec.reducer.reduce_all(sr.pairs)
+        outputs.append((keys, values))
+    return outputs, pairs_per_reducer
+
+
+def make_map_work(
+    chunk: Chunk, gpu: int, emitted: int, work: dict, routed: np.ndarray
+) -> MapWork:
+    """Assemble the per-chunk :class:`MapWork` record the simulator replays."""
+    return MapWork(
+        chunk_id=chunk.id,
+        gpu=gpu,
+        upload_bytes=chunk.nbytes,
+        n_rays=int(work.get("n_rays", 0)),
+        n_samples=int(work.get("n_samples", 0)),
+        pairs_emitted=emitted,
+        pairs_to_reducer=routed,
+        read_from_disk=chunk.on_disk,
+    )
+
+
 class InProcessExecutor:
     """Run the full MapReduce pipeline functionally in this process."""
 
-    def __init__(self, config: JobConfig = JobConfig()):
-        self.config = config
+    def __init__(self, config: Optional[JobConfig] = None):
+        # A `config=JobConfig()` default would be evaluated once at class
+        # definition and shared by every instance; instantiate per-instance.
+        self.config = config if config is not None else JobConfig()
 
     def execute(
         self,
@@ -56,54 +143,25 @@ class InProcessExecutor:
         chunk *would* run on, so the returned :class:`MapWork` items can
         be replayed through :class:`SimClusterExecutor` for timing.
         """
-        n_red = spec.n_reducers
         spec.mapper.initialize()
         spec.reducer.initialize()
         stats = JobStats()
-        per_reducer: list[list[np.ndarray]] = [[] for _ in range(n_red)]
         works: list[MapWork] = []
-
+        runs_per_chunk: list[list[np.ndarray]] = []
         for ci, chunk in enumerate(chunks):
-            out = spec.mapper.map(chunk)
-            validate_pairs(out.pairs, spec.kv, spec.max_key)
-            emitted = len(out.pairs)
-            pairs = discard_placeholders(out.pairs, spec.kv)
-            if spec.combiner is not None:
-                pairs = spec.combiner.combine(pairs)
-            kept = len(pairs)
-            stats.add_map(out.work, emitted, kept)
-            dests = spec.partitioner.partition(spec.kv.keys(pairs))
-            routed = np.zeros(n_red, dtype=np.int64)
-            for r in range(n_red):
-                sel = pairs[dests == r]
-                routed[r] = len(sel)
-                if len(sel):
-                    per_reducer[r].append(sel)
+            runs, emitted, kept, work, routed = map_chunk_to_runs(spec, chunk)
+            runs_per_chunk.append(runs)
+            stats.add_map(work, emitted, kept)
             works.append(
-                MapWork(
-                    chunk_id=chunk.id,
-                    gpu=chunk_to_gpu[ci] if chunk_to_gpu is not None else 0,
-                    upload_bytes=chunk.nbytes,
-                    n_rays=int(out.work.get("n_rays", 0)),
-                    n_samples=int(out.work.get("n_samples", 0)),
-                    pairs_emitted=emitted,
-                    pairs_to_reducer=routed,
-                    read_from_disk=chunk.on_disk,
+                make_map_work(
+                    chunk,
+                    chunk_to_gpu[ci] if chunk_to_gpu is not None else 0,
+                    emitted,
+                    work,
+                    routed,
                 )
             )
-
-        outputs: list[tuple[np.ndarray, np.ndarray]] = []
-        pairs_per_reducer = np.zeros(n_red, dtype=np.int64)
-        for r in range(n_red):
-            if per_reducer[r]:
-                received = np.concatenate(per_reducer[r])
-            else:
-                received = spec.kv.empty()
-            pairs_per_reducer[r] = len(received)
-            sr = counting_sort_pairs(received, spec.kv.key_field, 0, spec.max_key)
-            keys, values = spec.reducer.reduce_all(sr.pairs)
-            outputs.append((keys, values))
-
+        outputs, pairs_per_reducer = merge_partition_runs(spec, runs_per_chunk)
         return InProcessResult(
             outputs=outputs,
             stats=stats,
@@ -115,9 +173,9 @@ class InProcessExecutor:
 class SimClusterExecutor:
     """Replay :class:`MapWork` items on a simulated cluster for timing."""
 
-    def __init__(self, cluster_spec: ClusterSpec, config: JobConfig = JobConfig()):
+    def __init__(self, cluster_spec: ClusterSpec, config: Optional[JobConfig] = None):
         self.cluster_spec = cluster_spec
-        self.config = config
+        self.config = config if config is not None else JobConfig()
 
     def execute(
         self,

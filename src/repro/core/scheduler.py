@@ -91,7 +91,7 @@ def run_simulated_job(
     cluster: ClusterRuntime,
     works: list[MapWork],
     pair_nbytes: int,
-    config: JobConfig = JobConfig(),
+    config: Optional[JobConfig] = None,
     reduce_output_bytes_per_key: int = 16,
     owned_keys_per_reducer: Optional[np.ndarray] = None,
 ) -> SimOutcome:
@@ -101,6 +101,8 @@ def run_simulated_job(
     defaults to zero (the paper leaves final pixels wherever the reducer
     ran and excludes stitching from timings).
     """
+    if config is None:
+        config = JobConfig()
     env = cluster.env
     trace = cluster.trace
     n_reducers = len(works[0].pairs_to_reducer) if works else cluster.gpu_count

@@ -1,0 +1,60 @@
+"""Shared-memory multiprocess brick execution — real parallel map/reduce.
+
+The paper (Stuart et al., HPDC 2010) renders by fanning volume bricks
+out to many GPUs: each GPU **Maps** its bricks with a ray-cast kernel,
+**Partitions** the emitted ``(pixel, fragment)`` pairs by reducer,
+**Sorts** with a θ(n) counting sort, and **Reduces** by depth-ordered
+compositing — with brick uploads, kernels, and fragment downloads all
+overlapped.  The rest of this repository reproduces those stages
+functionally but ran them serially in one process; this package turns
+the recorded "simulated GPU" placement into real parallel hardware by
+mapping **one worker process per simulated GPU**:
+
+=====================  ====================================================
+paper stage            multiprocess realisation
+=====================  ====================================================
+brick upload (PCIe)    :mod:`~repro.parallel.shm` — chunk payloads and the
+                       transfer-function table published once into a
+                       shared-memory arena; workers take zero-copy views
+                       (resident bricks: an orbit uploads the volume once)
+Map + Partition        :mod:`~repro.parallel.worker` — each worker runs the
+(per GPU)              ray-cast kernel and buckets fragments by reducer
+                       partition, exactly the serial executor's code
+fragment download      :mod:`~repro.parallel.ring` — per-worker SPSC
+(pinned buffers)       shared-memory ring buffers with a cursor header
+                       protocol stream raw fragment runs to the parent
+shuffle + Sort +       :mod:`~repro.parallel.merge` — the parent reassembles
+Reduce                 each partition's runs in chunk order and applies the
+                       counting-scatter sort + segmented-scan compositor
+=====================  ====================================================
+
+:class:`SharedMemoryPoolExecutor` (:mod:`~repro.parallel.pool`) wires
+these together behind the exact ``execute(spec, chunks, chunk_to_gpu)``
+surface of :class:`~repro.core.executors.InProcessExecutor`, returning
+bitwise-identical images and counters — worker scheduling never leaks
+into the output because runs are merged in chunk order and every kernel
+is deterministic.  A ``serial=True`` mode runs the identical code path
+without processes, for tests and platforms lacking POSIX shared memory.
+"""
+
+from .merge import merge_partition_runs, split_runs
+from .pool import SharedMemoryPoolExecutor, default_pool_workers, usable_cores
+from .ring import RingTimeout, ShmRing
+from .shm import ArenaSpec, ArenaView, ShmArena, shm_segment_exists
+from .worker import FrameContext, map_chunk_to_runs
+
+__all__ = [
+    "ArenaSpec",
+    "ArenaView",
+    "FrameContext",
+    "default_pool_workers",
+    "RingTimeout",
+    "SharedMemoryPoolExecutor",
+    "ShmArena",
+    "ShmRing",
+    "map_chunk_to_runs",
+    "merge_partition_runs",
+    "shm_segment_exists",
+    "split_runs",
+    "usable_cores",
+]

@@ -1,0 +1,358 @@
+"""The shared-memory multiprocess brick executor.
+
+:class:`SharedMemoryPoolExecutor` runs the Map + Partition stages of a
+MapReduce job on a persistent pool of worker processes — one worker per
+simulated GPU — and the Sort + Reduce stages in the parent, exactly
+mirroring the paper's per-GPU pipeline on real parallel hardware.  It
+is a drop-in replacement for
+:class:`~repro.core.executors.InProcessExecutor`: same
+``execute(spec, chunks, chunk_to_gpu)`` signature, same
+:class:`~repro.core.executors.InProcessResult` out, bitwise-identical
+outputs and counters (see :mod:`repro.parallel.merge` for why).
+
+Data movement:
+
+* **Downlink** (chunks to workers): every chunk payload and the
+  transfer-function table are published once into a shared-memory
+  arena (:mod:`repro.parallel.shm`); workers map them zero-copy.  The
+  arena is fingerprinted on ``(volume token, tf version, chunk
+  ids/sizes)`` and republished only when that changes, so an orbit's
+  frames upload the volume exactly once — the paper's resident-brick
+  regime.
+* **Uplink** (fragments to parent): each worker streams its bucketed
+  fragment runs through a private shared-memory ring buffer
+  (:mod:`repro.parallel.ring`); only counters cross the pickling
+  queues.  Chunks whose output exceeds the ring capacity fall back to
+  the queue instead of deadlocking.
+
+``serial=True`` executes the identical worker code path in-process with
+no processes or shared memory — the deterministic fallback used by the
+equivalence tests and by platforms without POSIX shared memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import weakref
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.chunk import Chunk
+from ..core.executors import (
+    InProcessExecutor,
+    InProcessResult,
+    make_map_work,
+    merge_partition_runs,
+)
+from ..core.job import JobConfig, MapReduceSpec
+from ..core.scheduler import MapWork
+from ..core.stats import JobStats
+from .merge import split_runs
+from .ring import ShmRing
+from .shm import ShmArena
+from .worker import TF_ARENA_KEY, FrameContext, worker_main
+
+__all__ = ["SharedMemoryPoolExecutor", "default_pool_workers", "usable_cores"]
+
+_DEFAULT_RING_CAPACITY = 8 << 20  # 8 MiB of fragments per worker
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_pool_workers(n_gpus: int) -> int:
+    """The renderer's pool-size policy: one worker per simulated GPU,
+    capped to the cores actually available."""
+    return max(1, min(n_gpus, usable_cores()))
+
+
+def _cleanup(state: dict) -> None:
+    """Finalizer shared by close() and GC: tear down processes and shm."""
+    procs = state.pop("procs", [])
+    task_queues = state.pop("task_queues", [])
+    for q in task_queues:
+        try:
+            q.put(("stop",))
+        except Exception:
+            pass
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():  # pragma: no cover - stuck worker
+            p.terminate()
+            p.join(timeout=1.0)
+    for ring in state.pop("rings", []):
+        ring.close()
+    arena = state.pop("arena", None)
+    if arena is not None:
+        arena.close()
+
+
+class SharedMemoryPoolExecutor:
+    """Fan brick map work out across a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (defaults to the number of usable cores).  The
+        renderer passes its simulated-GPU count so placement maps one
+        worker per GPU.
+    config:
+        :class:`~repro.core.job.JobConfig` execution knobs (kept for
+        surface parity with the other executors).
+    ring_capacity:
+        Per-worker fragment ring size in bytes.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    serial:
+        Run the identical code path in-process (no processes, no shared
+        memory).  Deterministic fallback for tests and constrained
+        platforms.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        config: Optional[JobConfig] = None,
+        ring_capacity: int = _DEFAULT_RING_CAPACITY,
+        start_method: Optional[str] = None,
+        serial: bool = False,
+    ):
+        if workers is None:
+            workers = usable_cores()
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if ring_capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.workers = int(workers)
+        self.config = config if config is not None else JobConfig()
+        self.ring_capacity = int(ring_capacity)
+        self.serial = bool(serial)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._state: dict = {}
+        self._arena_fingerprint = None
+        self._result_queue = None
+        self._finalizer = weakref.finalize(self, _cleanup, self._state)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._state.get("procs"))
+
+    def _ensure_started(self) -> None:
+        if self.running:
+            return
+        rings = [
+            ShmRing.create(self.ring_capacity) for _ in range(self.workers)
+        ]
+        task_queues = [self._ctx.Queue() for _ in range(self.workers)]
+        self._result_queue = self._ctx.Queue()
+        procs = []
+        for wi in range(self.workers):
+            p = self._ctx.Process(
+                target=worker_main,
+                args=(wi, task_queues[wi], self._result_queue, rings[wi].name),
+                daemon=True,
+                name=f"repro-pool-{wi}",
+            )
+            p.start()
+            procs.append(p)
+        self._state.update(
+            procs=procs, task_queues=task_queues, rings=rings
+        )
+
+    def close(self) -> None:
+        """Shut the pool down and release every shared-memory segment."""
+        _cleanup(self._state)
+        self._arena_fingerprint = None
+        self._result_queue = None
+
+    def __enter__(self) -> "SharedMemoryPoolExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- data publication --------------------------------------------------
+    def _publish(self, spec: MapReduceSpec, chunks: Sequence[Chunk]) -> None:
+        """(Re)publish the chunk payload + transfer-function arena."""
+        token = getattr(spec.mapper, "accel_token", None)
+        tf = getattr(spec.mapper, "tf", None)
+        tf_version = getattr(tf, "version", None)
+        sig = (
+            (
+                token,
+                tf_version,
+                tuple(
+                    (
+                        c.id,
+                        c.nbytes,
+                        # Pin the brick's region: the same volume can be
+                        # bricked into different grids reusing chunk ids.
+                        getattr(c.meta, "data_lo", None),
+                        getattr(c.meta, "data_hi", None),
+                    )
+                    for c in chunks
+                ),
+            )
+            if token is not None
+            else None  # unknown provenance: always republish
+        )
+        if sig is not None and sig == self._arena_fingerprint:
+            return
+        arrays = {c.id: c.payload() for c in chunks}
+        if tf_version is not None:
+            arrays[TF_ARENA_KEY] = tf.table
+        arena = ShmArena(arrays)
+        for q in self._state["task_queues"]:
+            q.put(("arena", arena.spec))
+        old = self._state.get("arena")
+        if old is not None:
+            old.close()  # attached workers keep the memory alive until
+        self._state["arena"] = arena  # they process the new-arena message
+        self._arena_fingerprint = sig
+
+    def _frame_payload(self, spec: MapReduceSpec) -> bytes:
+        """Pickle the frame context, with the TF table left in the arena."""
+        ctx = FrameContext.from_spec(spec)
+        tf = getattr(spec.mapper, "tf", None)
+        if tf is not None and getattr(tf, "version", None) is not None:
+            ctx.tf_ref = (tf.vmin, tf.vmax)
+            try:
+                spec.mapper.tf = None  # table travels via shared memory
+                return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+            finally:
+                spec.mapper.tf = tf
+        return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        spec: MapReduceSpec,
+        chunks: Sequence[Chunk],
+        chunk_to_gpu: Optional[Sequence[int]] = None,
+    ) -> InProcessResult:
+        """Execute ``spec`` over ``chunks`` — same surface as the serial
+        executor; ``chunk_to_gpu`` doubles as worker placement (one
+        worker per simulated GPU, modulo pool size)."""
+        if self.serial or len(chunks) == 0:
+            # Zero chunks means nothing to fan out (and nothing to put in
+            # an arena); the serial path returns the same empty-job result
+            # InProcessExecutor produces.
+            return self._execute_serial(spec, chunks, chunk_to_gpu)
+        ids = [c.id for c in chunks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("chunk ids must be unique for the pool executor")
+        self._ensure_started()
+        self._publish(spec, chunks)
+        payload = self._frame_payload(spec)
+        for q in self._state["task_queues"]:
+            q.put(("frame", payload))
+        owner = []
+        for ci, chunk in enumerate(chunks):
+            wi = (
+                int(chunk_to_gpu[ci]) if chunk_to_gpu is not None else ci
+            ) % self.workers
+            owner.append(wi)
+            self._state["task_queues"][wi].put(
+                ("map", ci, chunk.id, chunk.nbytes, chunk.on_disk, chunk.meta)
+            )
+
+        n_red = spec.n_reducers
+        n = len(chunks)
+        runs_per_chunk: list = [None] * n
+        emitted_per_chunk = [0] * n
+        kept_per_chunk = [0] * n
+        work_per_chunk: list = [None] * n
+        routed_per_chunk: list = [None] * n
+        received = 0
+        rings = self._state["rings"]
+        procs = self._state["procs"]
+        # Any failure to drain this frame cleanly — a worker-reported map
+        # error, a ring timeout, a dead worker, Ctrl-C — leaves rings
+        # and/or the result queue holding this frame's partial state, and
+        # a later execute() would pair those leftovers with the wrong
+        # chunks.  Tear the whole pool down on the way out instead; the
+        # next call starts from fresh processes and segments.
+        try:
+            while received < n:
+                try:
+                    msg = self._result_queue.get(timeout=1.0)
+                except queue_mod.Empty:
+                    dead = [p.name for p in procs if not p.is_alive()]
+                    if dead:
+                        raise RuntimeError(
+                            f"pool worker(s) died during execute: {dead}"
+                        )
+                    continue
+                if msg[0] == "error":
+                    _, wi, ci, tb = msg
+                    raise RuntimeError(
+                        f"map task failure in the worker pool "
+                        f"[chunk {ci} on worker {wi}]:\n{tb}"
+                    )
+                _, wi, ci, emitted, kept, work, routed, ring_nbytes, inline = msg
+                if inline is not None:
+                    pairs = inline
+                else:
+                    pairs = rings[wi].read_records(ring_nbytes, spec.kv.dtype)
+                runs_per_chunk[ci] = split_runs(pairs, routed)
+                emitted_per_chunk[ci] = emitted
+                kept_per_chunk[ci] = kept
+                work_per_chunk[ci] = work
+                routed_per_chunk[ci] = np.asarray(routed, dtype=np.int64)
+                received += 1
+        except BaseException:
+            self.close()
+            raise
+
+        spec.reducer.initialize()
+        stats = JobStats()
+        works: list[MapWork] = []
+        for ci, chunk in enumerate(chunks):
+            stats.add_map(
+                work_per_chunk[ci], emitted_per_chunk[ci], kept_per_chunk[ci]
+            )
+            works.append(
+                make_map_work(
+                    chunk,
+                    chunk_to_gpu[ci] if chunk_to_gpu is not None else 0,
+                    emitted_per_chunk[ci],
+                    work_per_chunk[ci],
+                    routed_per_chunk[ci],
+                )
+            )
+        outputs, pairs_per_reducer = merge_partition_runs(spec, runs_per_chunk)
+        return InProcessResult(
+            outputs=outputs,
+            stats=stats,
+            pairs_per_reducer=pairs_per_reducer,
+            works=works,
+        )
+
+    def _execute_serial(
+        self,
+        spec: MapReduceSpec,
+        chunks: Sequence[Chunk],
+        chunk_to_gpu: Optional[Sequence[int]],
+    ) -> InProcessResult:
+        """Deterministic fallback: the serial executor *is* the same code.
+
+        ``InProcessExecutor.execute`` is built from the identical
+        ``map_chunk_to_runs`` / ``merge_partition_runs`` functions the
+        workers and the parent merge run, so delegating to it is the
+        fallback path — equivalence by construction, not by mirroring.
+        """
+        return InProcessExecutor(self.config).execute(spec, chunks, chunk_to_gpu)

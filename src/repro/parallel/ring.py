@@ -1,0 +1,198 @@
+"""Single-producer single-consumer shared-memory ring buffers.
+
+Each pool worker owns one ring: the worker (producer) appends the raw
+bytes of its per-chunk fragment runs; the parent (consumer) drains them
+after the matching completion message arrives on the result queue.  The
+ring models the paper's pinned-host fragment buffers that the GPUs
+stream emitted pairs into while the CPU concurrently consumes them.
+
+Layout of the shared segment::
+
+    [ 64-byte header | capacity bytes of data ]
+
+    header[0] = magic        (layout/version check on attach)
+    header[1] = capacity     (data bytes)
+    header[2] = write cursor (monotonic byte count ever written)
+    header[3] = read cursor  (monotonic byte count ever consumed)
+    header[4] = record size  (itemsize of the record dtype, advisory)
+
+Cursors are *monotonic* uint64 byte counts; the physical offset is
+``cursor % capacity`` and the occupied size is ``write − read``, which
+makes full/empty unambiguous without wasting a slot.  The protocol is
+strictly SPSC: only the producer advances ``write``, only the consumer
+advances ``read``, and each side publishes its cursor only *after* the
+corresponding memcpy — so a stale cursor read is always conservative
+(the peer just waits a poll interval longer).  Waits are bounded
+poll-sleeps; both sides raise :class:`TimeoutError` on expiry rather
+than deadlocking silently.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ShmRing", "RingTimeout"]
+
+_MAGIC = 0x52494E47_00000001  # "RING" + layout version
+_HEADER_BYTES = 64
+_HEADER_WORDS = _HEADER_BYTES // 8
+_IDX_MAGIC, _IDX_CAPACITY, _IDX_WRITE, _IDX_READ, _IDX_RECORD = range(5)
+_POLL_SECONDS = 200e-6
+
+
+class RingTimeout(TimeoutError):
+    """A blocking ring operation expired before space/data appeared."""
+
+
+class ShmRing:
+    """SPSC byte ring over a :mod:`multiprocessing.shared_memory` segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._header = np.frombuffer(
+            shm.buf, dtype=np.uint64, count=_HEADER_WORDS
+        )
+        if int(self._header[_IDX_MAGIC]) != _MAGIC:
+            raise ValueError(f"segment {shm.name!r} is not a ring buffer")
+        self.capacity = int(self._header[_IDX_CAPACITY])
+        self._data = np.frombuffer(
+            shm.buf, dtype=np.uint8, offset=_HEADER_BYTES, count=self.capacity
+        )
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int, record_size: int = 1) -> "ShmRing":
+        """Allocate a fresh ring (parent side; owns the segment name)."""
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        if record_size < 1:
+            raise ValueError("record size must be positive")
+        shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_BYTES + capacity
+        )
+        header = np.frombuffer(shm.buf, dtype=np.uint64, count=_HEADER_WORDS)
+        header[:] = 0
+        header[_IDX_CAPACITY] = capacity
+        header[_IDX_RECORD] = record_size
+        header[_IDX_MAGIC] = _MAGIC  # published last: attach sees a full header
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach to an existing ring (worker side; never unlinks)."""
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def record_size(self) -> int:
+        return int(self._header[_IDX_RECORD])
+
+    # -- state -------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return int(self._header[_IDX_WRITE]) - int(self._header[_IDX_READ])
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    # -- producer ----------------------------------------------------------
+    def write_bytes(self, payload, timeout: Optional[float] = 30.0) -> None:
+        """Append ``payload`` (bytes-like), blocking while the ring is full.
+
+        ``payload`` must fit in the ring at all (``len <= capacity``);
+        callers stream larger transfers in capacity-bounded pieces or
+        fall back to another channel.
+        """
+        buf = memoryview(payload).cast("B")
+        n = len(buf)
+        if n > self.capacity:
+            raise ValueError(
+                f"payload of {n} B exceeds ring capacity {self.capacity} B"
+            )
+        if n == 0:
+            return
+        self._wait(lambda: self.free >= n, timeout, "space")
+        w = int(self._header[_IDX_WRITE])
+        start = w % self.capacity
+        first = min(n, self.capacity - start)
+        self._data[start : start + first] = np.frombuffer(buf[:first], np.uint8)
+        if first < n:  # wrap
+            self._data[: n - first] = np.frombuffer(buf[first:], np.uint8)
+        # Publish after the copy: the consumer can never observe bytes
+        # that are not fully written.
+        self._header[_IDX_WRITE] = np.uint64(w + n)
+
+    # -- consumer ----------------------------------------------------------
+    def read_bytes(self, n: int, timeout: Optional[float] = 30.0) -> bytearray:
+        """Consume exactly ``n`` bytes, blocking until they are available."""
+        if n < 0:
+            raise ValueError("cannot read a negative byte count")
+        out = bytearray(n)
+        if n == 0:
+            return out
+        if n > self.capacity:
+            raise ValueError(
+                f"read of {n} B exceeds ring capacity {self.capacity} B"
+            )
+        self._wait(lambda: self.used >= n, timeout, "data")
+        r = int(self._header[_IDX_READ])
+        start = r % self.capacity
+        first = min(n, self.capacity - start)
+        out[:first] = self._data[start : start + first].tobytes()
+        if first < n:  # wrap
+            out[first:] = self._data[: n - first].tobytes()
+        self._header[_IDX_READ] = np.uint64(r + n)
+        return out
+
+    def read_records(
+        self, nbytes: int, dtype: np.dtype, timeout: Optional[float] = 30.0
+    ) -> np.ndarray:
+        """Consume ``nbytes`` and view them as records of ``dtype``."""
+        dtype = np.dtype(dtype)
+        if nbytes % dtype.itemsize:
+            raise ValueError(
+                f"{nbytes} B is not a whole number of {dtype.itemsize}-byte records"
+            )
+        return np.frombuffer(self.read_bytes(nbytes, timeout), dtype=dtype)
+
+    # -- plumbing ----------------------------------------------------------
+    def _wait(self, ready, timeout: Optional[float], what: str) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not ready():
+            if deadline is not None and time.monotonic() > deadline:
+                raise RingTimeout(
+                    f"ring {self.name}: no {what} after {timeout}s "
+                    f"(used {self.used}/{self.capacity} B)"
+                )
+            time.sleep(_POLL_SECONDS)
+
+    def close(self) -> None:
+        """Detach (and unlink, if this side created the segment)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views pin shm.buf; drop them before closing the mapping.
+        self._header = None
+        self._data = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already gone (double close is fine)
+                pass
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

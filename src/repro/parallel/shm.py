@@ -1,0 +1,156 @@
+"""Shared-memory arenas: publish-once read-only data for pool workers.
+
+The paper uploads each brick to a GPU once and keeps it resident across
+frames; the multiprocess analogue is publishing every chunk payload and
+the transfer-function table into **one** POSIX shared-memory segment.
+Workers attach and take zero-copy NumPy views — no per-frame pickling of
+volume data ever crosses a pipe.
+
+An arena is immutable once published: the parent packs all arrays,
+hands workers a picklable :class:`ArenaSpec` (segment name + per-key
+offset/shape/dtype), and republishes a *new* segment when the data
+actually changes (new volume, edited transfer function).  Unlinking the
+old segment is safe while workers are still attached — POSIX keeps the
+memory alive until the last ``close()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArenaSpec",
+    "ArenaView",
+    "ShmArena",
+    "shm_segment_exists",
+]
+
+_ALIGN = 64  # cache-line align every array
+
+# Resource-tracker note: on this Python (3.11) *attaching* to a segment
+# registers it with the resource tracker just like creating one, and the
+# tracker process is shared by the whole fork/spawn tree with a
+# set-valued cache — so creator + attachers collapse to one entry, the
+# creator's unlink() unregisters it exactly once, and any explicit
+# unregister on the attach side would double-remove and spam KeyErrors.
+# Hence: attachers only ever close(); owners close() + unlink().
+
+
+def shm_segment_exists(name: str) -> bool:
+    """Whether a shared-memory segment ``name`` still exists (leak checks)."""
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable description of a published arena (sent to workers once)."""
+
+    name: str  # shared-memory segment name
+    entries: Tuple[Tuple[Hashable, int, Tuple[int, ...], str], ...]
+    # each entry: (key, byte offset, shape, dtype string)
+    nbytes: int
+
+    def keys(self):
+        return tuple(e[0] for e in self.entries)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShmArena:
+    """Parent-side arena: packs arrays into one segment it owns."""
+
+    def __init__(self, arrays: Mapping[Hashable, np.ndarray]):
+        if not arrays:
+            raise ValueError("cannot publish an empty arena")
+        layout = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = _aligned(offset)
+            layout.append((key, offset, arr))
+            offset += arr.nbytes
+        total = max(offset, 1)
+        self._shm = shared_memory.SharedMemory(create=True, size=total)
+        entries = []
+        for key, off, arr in layout:
+            dst = np.frombuffer(
+                self._shm.buf, dtype=arr.dtype, count=arr.size, offset=off
+            ).reshape(arr.shape)
+            dst[...] = arr
+            entries.append((key, off, tuple(arr.shape), arr.dtype.str))
+        self.spec = ArenaSpec(
+            name=self._shm.name, entries=tuple(entries), nbytes=total
+        )
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def close(self) -> None:
+        """Detach and unlink; attached workers keep the memory alive."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ArenaView:
+    """Worker-side attachment exposing zero-copy read-only array views."""
+
+    def __init__(self, spec: ArenaSpec):
+        self.spec = spec
+        self._shm = shared_memory.SharedMemory(name=spec.name)
+        self._arrays: Dict[Hashable, np.ndarray] = {}
+        for key, off, shape, dtype_str in spec.entries:
+            dt = np.dtype(dtype_str)
+            view = np.frombuffer(
+                self._shm.buf, dtype=dt, count=int(np.prod(shape, dtype=np.int64)),
+                offset=off,
+            ).reshape(shape)
+            view.flags.writeable = False  # published data is immutable
+            self._arrays[key] = view
+        self._closed = False
+
+    def array(self, key: Hashable) -> np.ndarray:
+        return self._arrays[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._arrays
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # a stray view still pins the buffer; process
+            pass  # exit will release the mapping anyway
+
+    def __enter__(self) -> "ArenaView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

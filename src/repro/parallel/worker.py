@@ -1,0 +1,182 @@
+"""Pool worker: the per-"GPU" map + partition stage in its own process.
+
+Each worker is the multiprocess stand-in for one of the paper's GPUs.
+Its loop consumes control messages from a per-worker task queue:
+
+``("arena", ArenaSpec|None)``
+    (Re)attach the published chunk/transfer-function arena.
+``("frame", bytes)``
+    Pickled :class:`FrameContext` parts for the next frame — mapper,
+    partitioner, combiner, KV spec, key bound.  The transfer-function
+    table is *not* in the pickle: it lives in the arena and is rebound
+    here (the paper's "static data uploaded once per device").
+``("map", chunk_index, chunk_id, nbytes, on_disk, meta)``
+    Run Map + Partition for one chunk: ray-cast (or any user mapper),
+    validate, discard placeholders, combine, bucket by reducer.  The
+    bucketed fragment runs stream back through this worker's shared
+    -memory ring; counters travel on the result queue.
+``("stop",)``
+    Detach everything and exit.
+
+Determinism: the map kernel is pure NumPy, so a chunk's fragment runs
+are bitwise-identical wherever they execute — the parent only has to
+reassemble them in chunk order to match
+:class:`~repro.core.executors.InProcessExecutor` exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.chunk import Chunk
+from ..core.executors import map_chunk_to_runs
+from ..core.job import MapReduceSpec
+from .ring import ShmRing
+from .shm import ArenaSpec, ArenaView
+
+__all__ = ["FrameContext", "map_chunk_to_runs", "worker_main", "TF_ARENA_KEY"]
+
+#: Arena key under which the transfer-function table is published.
+TF_ARENA_KEY = "__tf_table__"
+
+
+@dataclass
+class FrameContext:
+    """Everything a worker needs to map chunks of one frame."""
+
+    mapper: Any
+    partitioner: Any
+    combiner: Any
+    kv: Any
+    max_key: int
+    n_reducers: int
+    tf_ref: Optional[tuple] = None  # (vmin, vmax) when the table is in the arena
+
+    @classmethod
+    def from_spec(cls, spec: MapReduceSpec) -> "FrameContext":
+        return cls(
+            mapper=spec.mapper,
+            partitioner=spec.partitioner,
+            combiner=spec.combiner,
+            kv=spec.kv,
+            max_key=spec.max_key,
+            n_reducers=spec.n_reducers,
+        )
+
+    def rebind_tf(self, view: ArenaView) -> None:
+        """Re-attach the mapper's transfer function from the arena."""
+        if self.tf_ref is None:
+            return
+        from ..render.transfer import TransferFunction1D
+
+        vmin, vmax = self.tf_ref
+        self.mapper.tf = TransferFunction1D(
+            table=view.array(TF_ARENA_KEY), vmin=vmin, vmax=vmax
+        )
+
+
+# map_chunk_to_runs is the *same function* the in-process executor runs
+# (repro.core.executors) — a FrameContext duck-types for the spec — so a
+# worker's runs are bitwise-identical to serial execution by construction.
+
+
+def _handle_map(
+    worker_id: int,
+    ctx: FrameContext,
+    view: ArenaView,
+    ring: ShmRing,
+    result_queue,
+    msg: tuple,
+) -> None:
+    """Run one map task and publish its runs (ring) and counters (queue)."""
+    _, ci, chunk_id, nbytes, on_disk, meta = msg
+    try:
+        chunk = Chunk(
+            id=chunk_id,
+            nbytes=nbytes,
+            data=view.array(chunk_id),
+            on_disk=on_disk,
+            meta=meta,
+        )
+        runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
+        total = int(sum(run.nbytes for run in runs))
+        if total <= ring.capacity:
+            # Fast path: stream raw run bytes through the ring (reducer
+            # order), publish only counts on the queue.
+            for run in runs:
+                if len(run):
+                    ring.write_bytes(np.ascontiguousarray(run))
+            inline = None
+            ring_nbytes = total
+        else:
+            # A single chunk outgrew the ring: fall back to the
+            # (pickling) queue rather than deadlock.
+            inline = np.concatenate(runs) if kept else None
+            ring_nbytes = 0
+        result_queue.put(
+            (
+                "done",
+                worker_id,
+                ci,
+                emitted,
+                kept,
+                work,
+                routed.tolist(),
+                ring_nbytes,
+                inline,
+            )
+        )
+    except Exception:
+        result_queue.put(("error", worker_id, ci, traceback.format_exc()))
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    ring_name: str,
+) -> None:
+    """Entry point of one pool worker process."""
+    ring = ShmRing.attach(ring_name)
+    view: Optional[ArenaView] = None
+    ctx: Optional[FrameContext] = None
+    try:
+        while True:
+            msg = task_queue.get()
+            kind = msg[0]
+            if kind == "stop":
+                break
+            elif kind == "arena":
+                spec: Optional[ArenaSpec] = msg[1]
+                # The previous frame context may hold views of the old
+                # arena (e.g. a transfer function bound to its table);
+                # drop it first so the mapping can actually unmap.  A
+                # "frame" message always follows an "arena" message.
+                ctx = None
+                if view is not None:
+                    view.close()
+                view = ArenaView(spec) if spec is not None else None
+            elif kind == "frame":
+                ctx = pickle.loads(msg[1])
+                if view is not None:
+                    ctx.rebind_tf(view)
+                ctx.mapper.initialize()
+            elif kind == "map":
+                # Task body lives in a helper so its locals (arena views,
+                # fragment runs) are released as soon as it returns — the
+                # final unmap in the ``finally`` below must see no views.
+                _handle_map(worker_id, ctx, view, ring, result_queue, msg)
+            else:
+                result_queue.put(
+                    ("error", worker_id, -1, f"unknown message {kind!r}")
+                )
+    finally:
+        ctx = None  # release arena-backed views before unmapping
+        if view is not None:
+            view.close()
+        ring.close()

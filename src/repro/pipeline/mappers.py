@@ -38,11 +38,15 @@ class RayCastMapper(Mapper):
         tf: TransferFunction1D,
         volume_shape: tuple[int, int, int],
         config: RenderConfig = RenderConfig(),
+        accel_token: Optional[str] = None,
     ):
         self.camera = camera
         self.tf = tf
         self.volume_shape = tuple(volume_shape)
         self.config = config
+        # Stable per-volume token (see repro.render.accel.volume_token);
+        # enables empty-space-table reuse across frames when set.
+        self.accel_token = accel_token
         self._initialized = False
 
     def initialize(self, device=None) -> None:
@@ -57,6 +61,18 @@ class RayCastMapper(Mapper):
         brick = chunk.meta
         if brick is None:
             raise ValueError(f"chunk {chunk.id} lacks Brick metadata")
+        accel_key = None
+        if self.accel_token is not None:
+            # The padded region pins the payload: the same volume can be
+            # bricked into different grids (brick id 0 of a 2-brick grid
+            # is not brick id 0 of a 4-brick grid).
+            accel_key = (
+                self.accel_token,
+                self.tf.version,
+                chunk.id,
+                tuple(brick.data_lo),
+                tuple(brick.data_hi),
+            )
         fragments, stats = raycast_brick(
             data=chunk.payload(),
             data_lo=brick.data_lo,
@@ -66,6 +82,7 @@ class RayCastMapper(Mapper):
             camera=self.camera,
             tf=self.tf,
             config=self.config,
+            accel_key=accel_key,
         )
         pairs = fragments.copy()
         # The renderer's fragment dtype doubles as the library KV dtype;

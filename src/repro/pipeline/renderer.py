@@ -29,6 +29,7 @@ from ..core.partition import RoundRobinPartitioner
 from ..core.api import Partitioner
 from ..core.scheduler import MapWork, SimOutcome
 from ..core.stats import JobStats
+from ..render.accel import volume_token
 from ..render.camera import Camera
 from ..render.fragments import FRAGMENT_DTYPE, FRAGMENT_NBYTES
 from ..render.raycast import RenderConfig
@@ -83,6 +84,14 @@ class MapReduceVolumeRenderer:
         Procedural dataset field for out-of-core / sim workloads.
     volume_shape:
         Required when ``volume`` is None.
+    executor, workers:
+        Functional execution backend: ``"inprocess"`` (serial, default),
+        ``"pool"`` (the :mod:`repro.parallel` shared-memory multiprocess
+        executor, ``workers`` processes — default one per simulated GPU
+        capped to the machine's cores), or any object exposing
+        ``execute(spec, chunks, chunk_to_gpu)``.  Pool renderers should
+        be closed (or used as context managers) to release worker
+        processes and shared memory.
     """
 
     def __init__(
@@ -90,11 +99,13 @@ class MapReduceVolumeRenderer:
         volume: Optional[Volume] = None,
         cluster: ClusterSpec | int = 1,
         tf: Optional[TransferFunction1D] = None,
-        render_config: RenderConfig = RenderConfig(),
-        job_config: JobConfig = JobConfig(),
+        render_config: Optional[RenderConfig] = None,
+        job_config: Optional[JobConfig] = None,
         field: Optional[Callable] = None,
         volume_shape: Optional[tuple[int, int, int]] = None,
         partitioner_factory: Optional[Callable[[int], Partitioner]] = None,
+        executor: str | object = "inprocess",
+        workers: Optional[int] = None,
     ):
         if volume is None and volume_shape is None:
             raise ValueError("need a volume or a volume_shape")
@@ -105,14 +116,65 @@ class MapReduceVolumeRenderer:
             cluster if isinstance(cluster, ClusterSpec) else accelerator_cluster(cluster)
         )
         self.tf = tf if tf is not None else default_tf()
-        self.render_config = render_config
-        self.job_config = job_config
+        self.render_config = render_config if render_config is not None else RenderConfig()
+        self.job_config = job_config if job_config is not None else JobConfig()
         self.kv = KVSpec(FRAGMENT_DTYPE, key_field="pixel")
         self._partitioner_factory = partitioner_factory or RoundRobinPartitioner
+        if isinstance(executor, str) and executor not in ("inprocess", "pool"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.executor = executor
+        self.workers = workers
+        self._exec_instance = None
 
     @property
     def n_gpus(self) -> int:
         return self.cluster_spec.gpu_count
+
+    # -- executor lifecycle ------------------------------------------------
+    def _executor(self):
+        """The functional executor (created lazily, reused across frames).
+
+        ``executor="pool"`` builds a
+        :class:`~repro.parallel.SharedMemoryPoolExecutor` with one worker
+        per simulated GPU by default (capped to the machine's cores), so
+        the ``chunk_to_gpu`` placement the library already records maps
+        straight onto real processes.  Any object with a compatible
+        ``execute`` method is also accepted.
+        """
+        if self._exec_instance is None:
+            if not isinstance(self.executor, str):
+                self._exec_instance = self.executor
+            elif self.executor == "pool":
+                from ..parallel import SharedMemoryPoolExecutor, default_pool_workers
+
+                workers = self.workers
+                if workers is None:
+                    workers = default_pool_workers(self.n_gpus)
+                self._exec_instance = SharedMemoryPoolExecutor(
+                    workers=workers, config=self.job_config
+                )
+            else:
+                self._exec_instance = InProcessExecutor(self.job_config)
+        return self._exec_instance
+
+    @property
+    def executor_workers(self) -> Optional[int]:
+        """Worker count of the active executor (None when serial or not
+        yet instantiated) — what a pool render actually ran with."""
+        return getattr(self._exec_instance, "workers", None)
+
+    def close(self) -> None:
+        """Shut down the executor (worker processes, shared memory)."""
+        inst = self._exec_instance
+        self._exec_instance = None
+        if inst is not None and hasattr(inst, "close"):
+            inst.close()
+
+    def __enter__(self) -> "MapReduceVolumeRenderer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- internals ---------------------------------------------------------
     def _grid(self, bricks_per_gpu: int) -> BrickGrid:
@@ -145,9 +207,16 @@ class MapReduceVolumeRenderer:
         return chunks
 
     def _spec(self, camera: Camera) -> MapReduceSpec:
+        # The token keys the per-volume acceleration cache (and the pool
+        # executor's publish-once arena) across an orbit's frames.
+        token = volume_token(self.volume if self.volume is not None else self.field)
         return MapReduceSpec(
             mapper=RayCastMapper(
-                camera, self.tf, self.volume_shape, self.render_config
+                camera,
+                self.tf,
+                self.volume_shape,
+                self.render_config,
+                accel_token=token,
             ),
             reducer=CompositeReducer(),
             partitioner=self._partitioner_factory(self.n_gpus),
@@ -218,7 +287,7 @@ class MapReduceVolumeRenderer:
     def _render_exec(self, camera, mode, grid, out_of_core, spec) -> RenderResult:
         chunks = self._chunks(grid, out_of_core)
         chunk_to_gpu = [c.id % self.n_gpus for c in chunks]
-        result = InProcessExecutor(self.job_config).execute(spec, chunks, chunk_to_gpu)
+        result = self._executor().execute(spec, chunks, chunk_to_gpu)
         parts = [
             (keys, values) for keys, values in result.outputs if len(keys)
         ]

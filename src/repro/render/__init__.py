@@ -1,5 +1,6 @@
 """Ray-casting renderer substrate: cameras, kernels, compositing."""
 
+from .accel import AccelCache, invalidate_volume, shared_cache, volume_token
 from .camera import BLOCK, Camera, PixelRect, orbit_camera
 from .compositing import (
     blend_background,
@@ -36,6 +37,7 @@ from .transfer import (
 )
 
 __all__ = [
+    "AccelCache",
     "BLOCK",
     "Camera",
     "FRAGMENT_DTYPE",
@@ -63,6 +65,7 @@ __all__ = [
     "grayscale_tf",
     "group_ranks",
     "image_stats",
+    "invalidate_volume",
     "make_fragments",
     "max_abs_diff",
     "mean_abs_diff",
@@ -76,7 +79,9 @@ __all__ = [
     "rgba_to_rgb8",
     "rgba_view",
     "segmented_exclusive_cumprod",
+    "shared_cache",
     "stitch_pixels",
     "trilinear_sample",
+    "volume_token",
     "write_ppm",
 ]

@@ -90,6 +90,19 @@ class Camera:
         object.__setattr__(self, "_up", true_up)
         object.__setattr__(self, "_focal", (self.height / 2.0) / math.tan(self.fov_y / 2.0))
 
+    def __getstate__(self):
+        # The cached full-viewport direction grid (see rect_rays_f32) is
+        # a per-process render cache, not camera state — and at ~12 B per
+        # pixel it would bloat every pickled per-frame payload the
+        # multiprocess executor ships to its workers.  Receivers rebuild
+        # it lazily on first use.
+        state = dict(self.__dict__)
+        state.pop("_dirs32_grid", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     # -- basis ------------------------------------------------------------
     @property
     def basis(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -309,6 +309,8 @@ def raycast_brick(
     tf: TransferFunction1D,
     config: RenderConfig = RenderConfig(),
     rect: Optional[PixelRect] = None,
+    accel_key: Optional[tuple] = None,
+    accel_cache: Optional["AccelCache"] = None,
 ) -> tuple[np.ndarray, MapStats]:
     """Ray cast one ghost-padded brick; return (fragments, stats).
 
@@ -316,6 +318,14 @@ def raycast_brick(
     the padded payload starting at voxel ``data_lo``; the half-open core
     is ``[core_lo, core_hi)``; ``volume_shape`` defines the global box
     used for the shared ray parametrisation.
+
+    ``accel_key`` (optional) enables empty-space-table caching: it must
+    uniquely identify ``(data, tf)`` — the renderer uses
+    ``(volume token, brick id, tf version)`` — and lookups go to
+    ``accel_cache`` (default: the process-wide
+    :func:`~repro.render.accel.shared_cache`).  The table is a pure
+    function of ``(data, tf)`` and skipping with it provably cannot
+    change the image or the stats, so caching never affects output.
     """
     stats = MapStats()
     core_lo_w = np.asarray(core_lo, dtype=np.float64)
@@ -397,14 +407,21 @@ def raycast_brick(
     u_thr = _alpha_zero_threshold(tf)
     total_expected = int(counts.sum())
     # The empty-space table costs O(voxels); build it only when the march
-    # is big enough to amortize it.
+    # is big enough to amortize it — unless a cached copy is free.
     skip_table = None
-    if (
-        np.isfinite(u_thr)
-        and min(shape) >= 2
-        and total_expected > data.size // 8
-    ):
+    # u_thr < 0 means the alpha table has no leading zero run: there is
+    # nothing to skip and _empty_space_table would return None.
+    table_possible = np.isfinite(u_thr) and u_thr >= 0 and min(shape) >= 2
+    cache = None
+    if table_possible and accel_key is not None:
+        from .accel import shared_cache
+
+        cache = accel_cache if accel_cache is not None else shared_cache()
+        skip_table = cache.get(accel_key)
+    if skip_table is None and table_possible and total_expected > data.size // 8:
         skip_table = _empty_space_table(data, tf, u_thr)
+        if cache is not None and skip_table is not None:
+            cache.put(accel_key, skip_table)
 
     max_cnt = int(counts.max()) if n_act else 0
     jb = 0

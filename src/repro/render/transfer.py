@@ -12,6 +12,7 @@ voxel*; the ray caster applies the standard opacity correction
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -51,6 +52,23 @@ class TransferFunction1D:
     @property
     def resolution(self) -> int:
         return self.table.shape[0]
+
+    @property
+    def version(self) -> str:
+        """Content hash identifying this transfer function.
+
+        Two instances with identical tables and domains share a version;
+        any edit produces a new one.  Acceleration caches key on it so a
+        changed transfer function can never be served stale tables.
+        """
+        v = self.__dict__.get("_version")
+        if v is None:
+            h = hashlib.blake2b(digest_size=12)
+            h.update(self.table.tobytes())
+            h.update(np.float64([self.vmin, self.vmax]).tobytes())
+            v = h.hexdigest()
+            object.__setattr__(self, "_version", v)
+        return v
 
     @property
     def nbytes(self) -> int:

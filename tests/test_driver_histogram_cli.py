@@ -55,11 +55,21 @@ def test_render_rotation_exec_keeps_images():
     assert not np.array_equal(rot.images[0], rot.images[1])
 
 
-def test_render_rotation_rejects_untimed_mode():
+def test_render_rotation_exec_mode_times_wall_clock():
+    # Exec-only orbits have no simulated clock: frame times are the
+    # measured wall clock of the functional pipeline.
     vol = make_dataset("supernova", (16, 16, 16))
     r = MapReduceVolumeRenderer(volume=vol, cluster=2)
-    with pytest.raises(ValueError, match="timing"):
-        render_rotation(r, n_frames=2, mode="exec", width=32, height=32)
+    rot = render_rotation(r, n_frames=2, mode="exec", width=32, height=32)
+    assert rot.n_frames == 2
+    assert len(rot.wall_seconds) == 2
+    assert all(t > 0 for t in rot.wall_seconds)
+    assert rot.frame_runtimes == rot.wall_seconds
+    assert rot.wall_fps > 0
+    # Timed modes still report the simulated clock, not the wall clock.
+    rot_sim = render_rotation(r, n_frames=2, mode="sim", width=32, height=32)
+    assert len(rot_sim.wall_seconds) == 2
+    assert rot_sim.frame_runtimes != rot_sim.wall_seconds
 
 
 # -- histogram / auto transfer function ------------------------------------

@@ -1,0 +1,417 @@
+"""Tests for the shared-memory multiprocess brick executor.
+
+The load-bearing property: :class:`SharedMemoryPoolExecutor` must be
+**bitwise-indistinguishable** from :class:`InProcessExecutor` — outputs,
+per-reducer routing, and every ``JobStats``/``MapStats``-derived counter
+— across worker counts, brick layouts, and ERT settings, because worker
+scheduling must never leak into the rendered image.  Multi-worker
+variants beyond the tier-1 smoke set are marked ``slow``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import MapReduceVolumeRenderer, make_dataset, orbit_camera
+from repro.core import (
+    Chunk,
+    InProcessExecutor,
+    KVSpec,
+    MapOutput,
+    Mapper,
+    MapReduceSpec,
+    PLACEHOLDER,
+    Reducer,
+    RoundRobinPartitioner,
+    run_length_groups,
+)
+from repro.parallel import (
+    ArenaSpec,
+    ArenaView,
+    RingTimeout,
+    SharedMemoryPoolExecutor,
+    ShmArena,
+    ShmRing,
+    shm_segment_exists,
+    split_runs,
+)
+from repro.render import RenderConfig, default_tf
+
+
+# -- helpers -----------------------------------------------------------------
+def make_scene(size=24, gpus=2, image=64, ert_alpha=0.98, placeholders=False):
+    vol = make_dataset("skull", (size,) * 3)
+    cam = orbit_camera(vol.shape, azimuth_deg=40.0, width=image, height=image)
+    r = MapReduceVolumeRenderer(
+        volume=vol,
+        cluster=gpus,
+        render_config=RenderConfig(
+            dt=0.75, ert_alpha=ert_alpha, emit_placeholders=placeholders
+        ),
+    )
+    return r, cam
+
+
+def scene_job(r, cam, bricks_per_gpu=2):
+    chunks = r._chunks(r._grid(bricks_per_gpu), False)
+    ctg = [c.id % r.n_gpus for c in chunks]
+    return chunks, ctg
+
+
+def assert_results_identical(a, b):
+    assert len(a.outputs) == len(b.outputs)
+    for (k1, v1), (k2, v2) in zip(a.outputs, b.outputs):
+        assert np.array_equal(k1, k2)
+        assert np.array_equal(v1, v2)  # bitwise, not approx
+    assert np.array_equal(a.pairs_per_reducer, b.pairs_per_reducer)
+    assert a.stats.as_dict() == b.stats.as_dict()
+    assert len(a.works) == len(b.works)
+    for w1, w2 in zip(a.works, b.works):
+        assert w1.chunk_id == w2.chunk_id
+        assert w1.gpu == w2.gpu
+        assert w1.upload_bytes == w2.upload_bytes
+        assert w1.n_rays == w2.n_rays
+        assert w1.n_samples == w2.n_samples
+        assert w1.pairs_emitted == w2.pairs_emitted
+        assert w1.read_from_disk == w2.read_from_disk
+        assert np.array_equal(w1.pairs_to_reducer, w2.pairs_to_reducer)
+
+
+def run_equivalence(workers, *, gpus=2, bricks_per_gpu=2, ert_alpha=0.98,
+                    placeholders=False, **pool_kwargs):
+    r, cam = make_scene(gpus=gpus, ert_alpha=ert_alpha, placeholders=placeholders)
+    chunks, ctg = scene_job(r, cam, bricks_per_gpu)
+    ref = InProcessExecutor().execute(r._spec(cam), chunks, ctg)
+    with SharedMemoryPoolExecutor(workers=workers, **pool_kwargs) as pool:
+        got = pool.execute(r._spec(cam), chunks, ctg)
+    assert_results_identical(ref, got)
+
+
+# -- pool vs in-process equivalence (tier-1 smoke set) -----------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_pool_matches_inprocess(workers):
+    run_equivalence(workers)
+
+
+def test_serial_fallback_matches_inprocess():
+    run_equivalence(1, serial=True)
+
+
+def test_pool_matches_with_placeholders_and_no_ert():
+    run_equivalence(2, ert_alpha=1.0, placeholders=True)
+
+
+def test_pool_multi_frame_resident_arena():
+    """Frames of an orbit republish nothing and stay bitwise identical."""
+    r, _ = make_scene()
+    with SharedMemoryPoolExecutor(workers=2) as pool:
+        for az in (0.0, 120.0, 240.0):
+            cam = orbit_camera(r.volume_shape, azimuth_deg=az, width=64, height=64)
+            chunks, ctg = scene_job(r, cam)
+            ref = InProcessExecutor().execute(r._spec(cam), chunks, ctg)
+            got = pool.execute(r._spec(cam), chunks, ctg)
+            assert_results_identical(ref, got)
+        assert pool._arena_fingerprint is not None
+
+
+def test_pool_inline_fallback_when_chunk_outgrows_ring():
+    # A ring too small for any chunk's fragments forces the queue path;
+    # results must be unchanged.
+    run_equivalence(2, ring_capacity=256)
+
+
+def test_renderer_pool_image_identical():
+    r_ref, cam = make_scene()
+    img_ref = r_ref.render(cam, mode="exec").image
+    vol = r_ref.volume
+    with MapReduceVolumeRenderer(
+        volume=vol,
+        cluster=2,
+        render_config=r_ref.render_config,
+        executor="pool",
+        workers=2,
+    ) as r_pool:
+        img_pool = r_pool.render(cam, mode="exec").image
+        img_pool2 = r_pool.render(cam, mode="exec").image  # warm arena + caches
+    assert np.array_equal(img_ref, img_pool)
+    assert np.array_equal(img_ref, img_pool2)
+
+
+# -- full matrix (slow) ------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("gpus,bricks_per_gpu", [(1, 2), (2, 2), (4, 1), (3, 3)])
+@pytest.mark.parametrize("ert_alpha", [1.0, 0.98, 0.5])
+def test_pool_matches_inprocess_matrix(workers, gpus, bricks_per_gpu, ert_alpha):
+    run_equivalence(
+        workers, gpus=gpus, bricks_per_gpu=bricks_per_gpu, ert_alpha=ert_alpha
+    )
+
+
+# -- generic (non-render) jobs through the pool ------------------------------
+KV = np.dtype([("key", np.int32), ("val", np.float32)])
+
+
+class ModSquareMapper(Mapper):
+    """Synthetic mapper (module-level: must be picklable for the pool)."""
+
+    def __init__(self, max_key):
+        self.max_key = max_key
+
+    def map(self, chunk):
+        data = chunk.payload()
+        pairs = np.empty(len(data), dtype=KV)
+        keys = (data.astype(np.int64) % (self.max_key + 1)).astype(np.int32)
+        keys[data % 2 == 1] = PLACEHOLDER
+        pairs["key"] = keys
+        pairs["val"] = data.astype(np.float32) ** 2
+        return MapOutput(pairs, work={"n_rays": len(data), "n_samples": 3 * len(data)})
+
+
+class SumReducer(Reducer):
+    def reduce_all(self, pairs):
+        keys, starts, _ = run_length_groups(pairs["key"])
+        sums = np.add.reduceat(pairs["val"], starts) if len(keys) else np.zeros(0)
+        return keys, sums
+
+
+def test_pool_runs_generic_mapreduce_job():
+    rng = np.random.default_rng(7)
+    chunks = [
+        Chunk(id=i, nbytes=d.nbytes, data=d)
+        for i, d in enumerate(
+            rng.integers(0, 100, 64).astype(np.int64) for _ in range(5)
+        )
+    ]
+    spec = MapReduceSpec(
+        mapper=ModSquareMapper(9),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(3),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    ref = InProcessExecutor().execute(spec, chunks, [0, 1, 0, 1, 0])
+    with SharedMemoryPoolExecutor(workers=2) as pool:
+        got = pool.execute(spec, chunks, [0, 1, 0, 1, 0])
+    assert_results_identical(ref, got)
+
+
+class BoomMapper(Mapper):
+    def map(self, chunk):
+        raise RuntimeError("boom in worker")
+
+
+def test_pool_propagates_worker_errors_and_resets():
+    chunks = [Chunk(id=0, nbytes=8, data=np.zeros(1, np.int64))]
+    spec = MapReduceSpec(
+        mapper=BoomMapper(),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(1),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    with SharedMemoryPoolExecutor(workers=1) as pool:
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            pool.execute(spec, chunks)
+        # A failed map task may leave partial fragment runs in its
+        # worker's ring, so the pool tears itself down rather than risk
+        # serving misaligned bytes; a retry starts from a fresh pool.
+        assert not pool.running
+        good = MapReduceSpec(
+            mapper=ModSquareMapper(9),
+            reducer=SumReducer(),
+            partitioner=RoundRobinPartitioner(1),
+            kv=KVSpec(KV),
+            max_key=9,
+        )
+        data = np.arange(10, dtype=np.int64) * 2
+        ref = InProcessExecutor().execute(
+            good, [Chunk(id=0, nbytes=data.nbytes, data=data)]
+        )
+        got = pool.execute(good, [Chunk(id=0, nbytes=data.nbytes, data=data)])
+        assert_results_identical(ref, got)
+
+
+def test_pool_handles_empty_chunk_list():
+    spec = MapReduceSpec(
+        mapper=ModSquareMapper(9),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(2),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    ref = InProcessExecutor().execute(spec, [])
+    with SharedMemoryPoolExecutor(workers=2) as pool:
+        got = pool.execute(spec, [])
+    assert_results_identical(ref, got)
+    assert got.works == []
+
+
+def test_pool_rejects_duplicate_chunk_ids():
+    d = np.zeros(2, np.int64)
+    chunks = [Chunk(id=0, nbytes=d.nbytes, data=d)] * 2
+    spec = MapReduceSpec(
+        mapper=ModSquareMapper(9),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(1),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    with SharedMemoryPoolExecutor(workers=1) as pool:
+        with pytest.raises(ValueError, match="unique"):
+            pool.execute(spec, chunks)
+
+
+# -- ring buffer -------------------------------------------------------------
+def test_ring_roundtrip_and_wraparound():
+    with ShmRing.create(capacity=64) as ring:
+        # Fill/drain repeatedly with sizes that force the cursor to wrap
+        # at misaligned offsets.
+        sent = received = b""
+        payload = bytes(range(48))
+        for i in range(20):
+            piece = payload[: 17 + (i * 7) % 30]
+            ring.write_bytes(piece, timeout=1.0)
+            sent += piece
+            got = ring.read_bytes(len(piece), timeout=1.0)
+            received += bytes(got)
+        assert received == sent
+        assert ring.used == 0
+
+
+def test_ring_records_roundtrip():
+    dt = np.dtype([("k", np.int32), ("v", np.float32)])
+    arr = np.zeros(10, dtype=dt)
+    arr["k"] = np.arange(10)
+    arr["v"] = np.linspace(0, 1, 10, dtype=np.float32)
+    with ShmRing.create(capacity=37) as ring:  # < arr.nbytes: stream in pieces
+        out = []
+
+        def consume():
+            for _ in range(len(arr)):
+                out.append(ring.read_records(dt.itemsize, dt, timeout=5.0))
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        # Producer streams record-sized pieces; consumer drains them.
+        for rec in arr:
+            ring.write_bytes(rec.tobytes(), timeout=5.0)
+        consumer.join(timeout=5.0)
+        assert not consumer.is_alive()
+        assert np.array_equal(np.concatenate(out), arr)
+
+
+def test_ring_blocks_producer_until_consumed():
+    with ShmRing.create(capacity=16) as ring:
+        ring.write_bytes(b"x" * 16, timeout=1.0)
+        t0 = time.monotonic()
+        with pytest.raises(RingTimeout):
+            ring.write_bytes(b"y", timeout=0.05)
+        assert time.monotonic() - t0 >= 0.05
+        # Draining unblocks the producer.
+        drain = threading.Thread(
+            target=lambda: (time.sleep(0.02), ring.read_bytes(16, timeout=1.0))
+        )
+        drain.start()
+        ring.write_bytes(b"y" * 8, timeout=2.0)
+        drain.join(timeout=2.0)
+        assert bytes(ring.read_bytes(8, timeout=1.0)) == b"y" * 8
+
+
+def test_ring_validation():
+    with ShmRing.create(capacity=8) as ring:
+        with pytest.raises(ValueError):
+            ring.write_bytes(b"123456789")  # > capacity
+        with pytest.raises(ValueError):
+            ring.read_bytes(9)
+        with pytest.raises(ValueError):
+            ring.read_records(6, np.dtype(np.int32))  # not whole records
+    with pytest.raises(ValueError):
+        ShmRing.create(capacity=0)
+
+
+def test_ring_attach_and_cross_close():
+    ring = ShmRing.create(capacity=128, record_size=24)
+    other = ShmRing.attach(ring.name)
+    assert other.capacity == 128
+    assert other.record_size == 24
+    other.write_bytes(b"hello")
+    assert bytes(ring.read_bytes(5)) == b"hello"
+    name = ring.name
+    other.close()  # attachment never unlinks
+    assert shm_segment_exists(name)
+    ring.close()
+    ring.close()  # idempotent
+    assert not shm_segment_exists(name)
+
+
+# -- shared-memory arena -----------------------------------------------------
+def test_arena_publish_attach_and_cleanup():
+    a = np.arange(12, dtype=np.float32).reshape(3, 4)
+    b = np.arange(6, dtype=np.int64)
+    arena = ShmArena({"a": a, 7: b})
+    assert isinstance(arena.spec, ArenaSpec)
+    view = ArenaView(arena.spec)
+    assert np.array_equal(view.array("a"), a)
+    assert np.array_equal(view.array(7), b)
+    assert not view.array("a").flags.writeable  # published data is immutable
+    assert "a" in view and "missing" not in view
+    name = arena.name
+    view.close()
+    arena.close()
+    arena.close()  # idempotent
+    assert not shm_segment_exists(name)
+
+
+def test_arena_rejects_empty():
+    with pytest.raises(ValueError):
+        ShmArena({})
+
+
+def test_pool_releases_all_segments_on_close():
+    r, cam = make_scene()
+    chunks, ctg = scene_job(r, cam)
+    pool = SharedMemoryPoolExecutor(workers=2)
+    pool.execute(r._spec(cam), chunks, ctg)
+    names = [ring.name for ring in pool._state["rings"]]
+    names.append(pool._state["arena"].name)
+    pool.close()
+    for name in names:
+        assert not shm_segment_exists(name), f"leaked segment {name}"
+    pool.close()  # idempotent
+
+
+# -- merge helpers -----------------------------------------------------------
+def test_split_runs_checks_counters():
+    dt = np.dtype([("pixel", np.int32), ("v", np.float32)])
+    pairs = np.zeros(5, dtype=dt)
+    runs = split_runs(pairs, [2, 0, 3])
+    assert [len(x) for x in runs] == [2, 0, 3]
+    with pytest.raises(ValueError):
+        split_runs(pairs, [2, 2])
+
+
+def test_camera_pickle_excludes_ray_grid_cache():
+    # The pool pickles a camera per frame; the lazily-built full-viewport
+    # direction grid must not ride along.
+    import pickle
+
+    cam = orbit_camera((16, 16, 16), width=64, height=64)
+    cam.rect_rays_f32(cam.full_rect())  # populate the cache
+    assert "_dirs32_grid" in cam.__dict__
+    clone = pickle.loads(pickle.dumps(cam))
+    assert "_dirs32_grid" not in clone.__dict__
+    # The clone still renders identically (cache rebuilt lazily).
+    d1, k1 = cam.rect_rays_f32(cam.full_rect())
+    d2, k2 = clone.rect_rays_f32(clone.full_rect())
+    assert np.array_equal(d1, d2) and np.array_equal(k1, k2)
+
+
+# -- executor config hygiene (shared-default fix) ----------------------------
+def test_executor_configs_are_per_instance():
+    assert InProcessExecutor().config is not InProcessExecutor().config
+    p1 = SharedMemoryPoolExecutor(workers=1, serial=True)
+    p2 = SharedMemoryPoolExecutor(workers=1, serial=True)
+    assert p1.config is not p2.config
