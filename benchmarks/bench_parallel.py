@@ -1,29 +1,36 @@
 #!/usr/bin/env python
-"""Worker-count scaling sweep of the shared-memory pool executor.
+"""Scaling sweep of the shared-memory pool executor.
 
 Renders a multi-brick orbit end to end (real ray casting, real
 partition/sort/reduce, real images) through
-:class:`~repro.parallel.SharedMemoryPoolExecutor` at several pool sizes
-and records sustained frame throughput into a JSON report
-(default: ``BENCH_parallel.json`` at the repo root).
+:class:`~repro.parallel.SharedMemoryPoolExecutor` across a
+``workers × reduce_mode × pipeline_depth`` grid and records sustained
+frame throughput into a JSON report (default: ``BENCH_parallel.json``
+at the repo root).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py \
-        [--out BENCH_parallel.json] [--workers 1,2,4,8] [--size 48] \
+        [--out BENCH_parallel.json] [--workers 1,2,4,8] \
+        [--reduce-modes parent,worker] [--depths 1,2] [--size 48] \
         [--gpus 8] [--frames 6] [--image 160]
 
 The report records the machine's usable core count alongside every
 row: speedup over the 1-worker pool is bounded by the cores actually
 available (a 1-core container time-slices all workers and shows ~1×
 regardless of pool size), so read ``speedup_vs_1_worker`` against
-``cpu_count``.  The in-process executor is measured too, as the
-no-pool baseline, and every pool render is checked bitwise against it.
+``cpu_count``.  ``reduce_mode="worker"`` moves Sort+Reduce onto the
+owning workers (the paper's symmetric layout); ``pipeline_depth=2``
+double-buffers frames so workers map+reduce frame *k+1* while the
+parent stitches frame *k* — both need >1 real core to pay off.  The
+in-process executor is measured too, as the no-pool baseline, and
+every pool render is checked bitwise against it.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import sys
 import time
@@ -63,13 +70,22 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_parallel.json"))
     ap.add_argument("--workers", default="1,2,4,8",
                     help="comma-separated pool sizes to sweep")
+    ap.add_argument("--reduce-modes", default="parent,worker",
+                    help="comma-separated reduce placements to sweep")
+    ap.add_argument("--depths", default="1,2",
+                    help="comma-separated pipeline depths to sweep")
     ap.add_argument("--size", type=int, default=48, help="cubic volume edge")
     ap.add_argument("--gpus", type=int, default=8,
                     help="simulated GPU count (drives brick count/placement)")
     ap.add_argument("--frames", type=int, default=6, help="orbit frames per row")
     ap.add_argument("--image", type=int, default=160, help="image edge (pixels)")
     args = ap.parse_args(argv)
-    sweep = [int(w) for w in args.workers.split(",") if w]
+    sweep_workers = [int(w) for w in args.workers.split(",") if w]
+    sweep_modes = [m.strip() for m in args.reduce_modes.split(",") if m.strip()]
+    sweep_depths = [int(d) for d in args.depths.split(",") if d]
+    for m in sweep_modes:
+        if m not in ("parent", "worker"):
+            ap.error(f"unknown reduce mode {m!r}")
 
     vol = make_dataset("skull", (args.size,) * 3)
     cfg = RenderConfig(dt=0.75)
@@ -88,38 +104,54 @@ def main(argv=None) -> int:
           f"for {args.frames} frames, {base_rot.results[0].n_bricks} bricks)")
 
     rows = []
-    fps_by_workers = {}
-    for w in sweep:
-        with make_renderer(executor="pool", workers=w) as r:
+    fps_one_worker = {}  # (mode, depth) -> 1-worker fps, the scaling anchor
+    for mode, depth, w in itertools.product(
+        sweep_modes, sweep_depths, sweep_workers
+    ):
+        with make_renderer(
+            executor="pool", workers=w, reduce_mode=mode, pipeline_depth=depth
+        ) as r:
             fps, elapsed, rot = orbit_fps(
                 r, args.frames, args.image, keep_images=True
             )
+        assert len(rot.images) == len(base_rot.images)
         for img_pool, img_base in zip(rot.images, base_rot.images):
             assert np.array_equal(img_pool, img_base), "pool image diverged"
-        fps_by_workers[w] = fps
+        if w == 1:
+            fps_one_worker[(mode, depth)] = fps
+        ring = rot.results[-1].stats.ring or {}
         rows.append(
             {
                 "workers": w,
+                "reduce_mode": mode,
+                "pipeline_depth": depth,
                 "frames": args.frames,
                 "elapsed_s": round(elapsed, 4),
                 "fps": round(fps, 3),
                 "speedup_vs_inprocess": round(fps / base_fps, 3),
                 "speedup_vs_1_worker": None,  # filled below
+                "ring_stall_s_last_frame": round(
+                    ring.get("stall_seconds", 0.0), 6
+                ),
+                "ring_high_water_bytes": ring.get("high_water_bytes", 0),
             }
         )
-        print(f"pool workers={w}: {fps:6.2f} FPS  ({elapsed:.2f}s, "
+        print(f"pool workers={w} reduce={mode} depth={depth}: "
+              f"{fps:6.2f} FPS  ({elapsed:.2f}s, "
               f"{fps / base_fps:.2f}x vs inprocess)")
-    ref = fps_by_workers.get(1, rows[0]["fps"] if rows else None)
     for row in rows:
+        ref = fps_one_worker.get((row["reduce_mode"], row["pipeline_depth"]))
         if ref:
             row["speedup_vs_1_worker"] = round(row["fps"] / ref, 3)
 
     report = {
-        "benchmark": "shared-memory pool executor scaling sweep",
+        "benchmark": "shared-memory pool executor scaling sweep "
+                     "(workers x reduce_mode x pipeline_depth)",
         "cpu_count": usable_cores(),
         "note": (
             "speedup is bounded by cpu_count: on a single-core machine all "
-            "pool sizes time-slice one core and stay near 1x"
+            "pool sizes time-slice one core and stay near 1x; worker-side "
+            "reduce and pipeline_depth>1 likewise need real cores to pay off"
         ),
         "params": {
             "dataset": "skull",

@@ -6,8 +6,9 @@
 #
 # Runs the functional-kernel micro-benchmarks into a pytest-benchmark
 # JSON (default: BENCH_kernels.json at the repo root), then the
-# shared-memory pool executor's worker-count scaling sweep (1/2/4/8
-# workers over a multi-brick orbit) into BENCH_parallel.json.
+# shared-memory pool executor's scaling sweep (1/2/4/8 workers ×
+# parent/worker reduce × pipeline depth 1/2 over a multi-brick orbit)
+# into BENCH_parallel.json.
 # Compare kernels against the committed baseline with e.g.:
 #   python - <<'EOF'
 #   import json
@@ -17,7 +18,11 @@
 #       if k in new:
 #           print(f"{k}: {base[k]*1e3:8.2f} ms -> {new[k]*1e3:8.2f} ms  ({base[k]/new[k]:.2f}x)")
 #   EOF
+# set -e makes any bench-script crash abort the run; the ERR trap makes
+# the nonzero exit loud so CI (and humans) never mistake a partial run
+# for a completed one.
 set -euo pipefail
+trap 'echo "run_kernels.sh: FAILED at line $LINENO (exit $?)" >&2' ERR
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_kernels.json}"
 PAR_OUT="${2:-BENCH_parallel.json}"
@@ -26,4 +31,6 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     --benchmark-json="$OUT" -q
 echo "wrote $OUT"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python \
-    benchmarks/bench_parallel.py --out "$PAR_OUT" --workers 1,2,4,8
+    benchmarks/bench_parallel.py --out "$PAR_OUT" --workers 1,2,4,8 \
+    --reduce-modes parent,worker --depths 1,2
+echo "run_kernels.sh: OK"

@@ -50,6 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--workers", type=int, default=None,
                    help="pool worker processes (default: one per simulated "
                         "GPU, capped to the machine's cores)")
+    r.add_argument("--reduce-mode", default="parent", choices=["parent", "worker"],
+                   help="where the pool executor runs Sort+Reduce: in the "
+                        "parent (default), or on the worker owning each "
+                        "partition, which ships back composited pixel spans "
+                        "(bitwise-identical output either way)")
+    r.add_argument("--pipeline-depth", type=int, default=1,
+                   help="frames the pool executor keeps in flight for orbit "
+                        "rendering: 1 = synchronous, 2 = double-buffered "
+                        "(workers map+reduce the next frame while the parent "
+                        "stitches the current one)")
     r.add_argument("--out", default="render.ppm")
 
     s = sub.add_parser("sweep", help="regenerate a paper figure (simulated cluster)")
@@ -102,11 +112,14 @@ def _cmd_render(args) -> int:
         render_config=RenderConfig(dt=args.dt, shading=args.shading),
         executor=args.executor,
         workers=args.workers,
+        reduce_mode=args.reduce_mode,
+        pipeline_depth=args.pipeline_depth,
     ) as renderer:
         result = renderer.render(camera, mode="both")
         backend = args.executor
         if backend == "pool":
-            backend = f"pool ({renderer.executor_workers} workers)"
+            backend = (f"pool ({renderer.executor_workers} workers, "
+                       f"{args.reduce_mode} reduce)")
     write_ppm(args.out, result.image)
     sb = result.outcome.breakdown
     print(f"rendered {args.dataset} {volume.resolution_label()} on "

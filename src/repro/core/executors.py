@@ -28,6 +28,7 @@ from .stats import JobStats
 __all__ = [
     "InProcessResult",
     "InProcessExecutor",
+    "PartitionReduceSpec",
     "SimClusterExecutor",
     "make_map_work",
     "map_chunk_to_runs",
@@ -105,6 +106,26 @@ def merge_partition_runs(
         keys, values = spec.reducer.reduce_all(sr.pairs)
         outputs.append((keys, values))
     return outputs, pairs_per_reducer
+
+
+@dataclass
+class PartitionReduceSpec:
+    """The minimal spec a distributed Sort+Reduce stage runs against.
+
+    :func:`merge_partition_runs` only reads ``n_reducers`` / ``kv`` /
+    ``max_key`` / ``reducer`` from its spec, so a worker that owns a
+    *subset* of the partitions can renumber them ``0..n-1``, wrap the
+    pieces in this view, and execute the **literal** parent-side
+    function over its chunk-ordered runs — which is what makes
+    worker-side reduce bitwise-identical to parent-side reduce by
+    construction (reducer keys are disjoint per partition, so no
+    cross-partition state exists to diverge on).
+    """
+
+    n_reducers: int
+    kv: object
+    max_key: int
+    reducer: object
 
 
 def make_map_work(

@@ -25,6 +25,13 @@ class JobStats:
     bytes_intranode: int = 0  # local memcpy traffic
     n_messages: int = 0
     breakdown: Optional[StageBreakdown] = None
+    # Ring-buffer backpressure diagnostics, filled only by the pool
+    # executor: aggregate + per-worker producer stall time/events, ring
+    # high-water marks, and queue fallbacks for oversized chunks.  These
+    # are *timing-dependent* (they vary run to run with scheduling), so
+    # they are deliberately excluded from as_dict(), which reports only
+    # the deterministic counters the executor-parity contract covers.
+    ring: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def add_map(self, work: dict[str, int], emitted: int, kept: int) -> None:
         self.n_chunks += 1

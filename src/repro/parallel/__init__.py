@@ -22,10 +22,22 @@ Map + Partition        :mod:`~repro.parallel.worker` — each worker runs the
                        partition, exactly the serial executor's code
 fragment download      :mod:`~repro.parallel.ring` — per-worker SPSC
 (pinned buffers)       shared-memory ring buffers with a cursor header
-                       protocol stream raw fragment runs to the parent
-shuffle + Sort +       :mod:`~repro.parallel.merge` — the parent reassembles
-Reduce                 each partition's runs in chunk order and applies the
-                       counting-scatter sort + segmented-scan compositor
+                       protocol stream raw fragment runs to the parent,
+                       exporting backpressure counters (producer stall
+                       time/events, high-water mark) into ``JobStats``
+shuffle + Sort +       ``reduce_mode="parent"``: :mod:`~repro.parallel.merge`
+Reduce                 — the parent reassembles each partition's runs in
+                       chunk order and applies the counting-scatter sort +
+                       segmented-scan compositor.
+                       ``reduce_mode="worker"``: the paper's symmetric
+                       layout — each worker Sort+Reduces the partitions it
+                       owns with the *same* merge function and ships back
+                       composited pixel spans; the parent just stitches
+async overlap (§7)     ``pipeline_depth>1``: ``submit``/``collect`` keep
+                       frames in flight so workers map+reduce frame *k+1*
+                       while the parent assembles/stitches frame *k* (and
+                       next-frame arenas, incl. out-of-core loads, publish
+                       off the critical path)
 =====================  ====================================================
 
 :class:`SharedMemoryPoolExecutor` (:mod:`~repro.parallel.pool`) wires
@@ -38,7 +50,12 @@ without processes, for tests and platforms lacking POSIX shared memory.
 """
 
 from .merge import merge_partition_runs, split_runs
-from .pool import SharedMemoryPoolExecutor, default_pool_workers, usable_cores
+from .pool import (
+    PendingFrame,
+    SharedMemoryPoolExecutor,
+    default_pool_workers,
+    usable_cores,
+)
 from .ring import RingTimeout, ShmRing
 from .shm import ArenaSpec, ArenaView, ShmArena, shm_segment_exists
 from .worker import FrameContext, map_chunk_to_runs
@@ -47,6 +64,7 @@ __all__ = [
     "ArenaSpec",
     "ArenaView",
     "FrameContext",
+    "PendingFrame",
     "default_pool_workers",
     "RingTimeout",
     "SharedMemoryPoolExecutor",

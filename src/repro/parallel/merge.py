@@ -1,4 +1,4 @@
-"""Parent-side merge: reassemble per-partition runs, sort, reduce.
+"""Shuffle-side merge: reassemble per-partition runs, sort, reduce.
 
 Workers return, for every chunk, one fragment run per reducer partition
 (the Partition stage's bucketing).  The Sort + Reduce half —
@@ -7,7 +7,11 @@ function* :class:`~repro.core.executors.InProcessExecutor` runs: it
 concatenates each partition's runs **in chunk order** (not completion
 order) and applies the θ(n) counting sort + the segmented-scan reducer,
 which is what makes the whole pool bitwise deterministic regardless of
-worker scheduling.  This module adds the pool-specific piece:
+worker scheduling.  Under ``reduce_mode="parent"`` the parent executes
+it over every partition; under ``reduce_mode="worker"`` each worker
+executes the identical function over the partitions it owns (via
+:class:`~repro.core.executors.PartitionReduceSpec`), so the two
+placements cannot diverge.  This module adds the pool-specific piece:
 recovering per-reducer runs from the concatenated byte stream a worker
 pushed through its ring.
 """

@@ -1,14 +1,42 @@
 """The shared-memory multiprocess brick executor.
 
-:class:`SharedMemoryPoolExecutor` runs the Map + Partition stages of a
-MapReduce job on a persistent pool of worker processes — one worker per
-simulated GPU — and the Sort + Reduce stages in the parent, exactly
+:class:`SharedMemoryPoolExecutor` runs a MapReduce job on a persistent
+pool of worker processes — one worker per simulated GPU — exactly
 mirroring the paper's per-GPU pipeline on real parallel hardware.  It
 is a drop-in replacement for
 :class:`~repro.core.executors.InProcessExecutor`: same
 ``execute(spec, chunks, chunk_to_gpu)`` signature, same
 :class:`~repro.core.executors.InProcessResult` out, bitwise-identical
 outputs and counters (see :mod:`repro.parallel.merge` for why).
+
+Stage placement (``reduce_mode``):
+
+* ``"parent"`` — workers run Map + Partition, the parent runs Sort +
+  Reduce (the PR-2 layout).
+* ``"worker"`` — the paper's full symmetry: each worker also runs Sort
+  + Reduce for the reducer partitions it *owns* (``partition %
+  workers``), executing the literal
+  :func:`~repro.core.executors.merge_partition_runs` over chunk-ordered
+  runs and shipping back composited per-partition ``(keys, values)``
+  spans instead of raw fragments.  The parent becomes a pure stitcher.
+  Keys are disjoint per partition, so placement cannot change results.
+
+Frame pipelining (``pipeline_depth``):
+
+* :meth:`submit` / :meth:`collect` split ``execute`` into an async
+  half-pair; up to ``pipeline_depth`` frames may be in flight at once.
+  Submitting frame *k+1* first **seals** frame *k* (drains its map
+  results and dispatches its reduce tasks), so per-worker task queues
+  always order ``reduce(k)`` before ``map(k+1)`` — the workers
+  map+reduce frame *k+1* while the parent assembles/stitches frame *k*,
+  the multiprocess analogue of the paper's §7 async-upload overlap.
+  Because the next frame's arena is published at submit time, an
+  out-of-core orbit's chunk loads (disk → shared memory) are also
+  prefetched off the previous frame's critical path.
+  ``pipeline_depth=1`` (default) degenerates to fully synchronous
+  per-frame execution.  Results are bitwise-independent of the depth:
+  runs are merged in chunk order and reduced outputs are assembled in
+  partition order, never in completion order.
 
 Data movement:
 
@@ -21,9 +49,18 @@ Data movement:
   regime.
 * **Uplink** (fragments to parent): each worker streams its bucketed
   fragment runs through a private shared-memory ring buffer
-  (:mod:`repro.parallel.ring`); only counters cross the pickling
-  queues.  Chunks whose output exceeds the ring capacity fall back to
-  the queue instead of deadlocking.
+  (:mod:`repro.parallel.ring`); in parent-reduce mode only counters
+  cross the pickling queues.  Chunks whose output exceeds the ring
+  capacity fall back to the queue instead of deadlocking.  Each ring
+  exports backpressure counters (producer stall time/events,
+  high-water mark) that the executor aggregates into ``JobStats.ring``.
+* **Shuffle** (worker-reduce mode): the parent routes each partition's
+  chunk-ordered runs to its owning worker over the task queues
+  (pickled), and reduced spans come back the same way — the reduce
+  *compute* parallelizes, but fragment bytes cross processes twice
+  more than in parent mode.  Spans are small post-reduce, yet
+  fragment-heavy frames pay the pickle on the way out; cutting the
+  parent out with direct worker↔worker rings is the ROADMAP follow-on.
 
 ``serial=True`` executes the identical worker code path in-process with
 no processes or shared memory — the deterministic fallback used by the
@@ -56,7 +93,12 @@ from .ring import ShmRing
 from .shm import ShmArena
 from .worker import TF_ARENA_KEY, FrameContext, worker_main
 
-__all__ = ["SharedMemoryPoolExecutor", "default_pool_workers", "usable_cores"]
+__all__ = [
+    "PendingFrame",
+    "SharedMemoryPoolExecutor",
+    "default_pool_workers",
+    "usable_cores",
+]
 
 _DEFAULT_RING_CAPACITY = 8 << 20  # 8 MiB of fragments per worker
 
@@ -96,8 +138,70 @@ def _cleanup(state: dict) -> None:
         arena.close()
 
 
+class PendingFrame:
+    """Handle for one in-flight frame of the pool pipeline.
+
+    Opaque to callers: pass it back to
+    :meth:`SharedMemoryPoolExecutor.collect` to obtain the frame's
+    :class:`~repro.core.executors.InProcessResult`.  The executor keeps
+    the frame's partial state (per-chunk runs and counters, per
+    -partition reduced outputs) here while later frames are submitted.
+    """
+
+    __slots__ = (
+        "seq",
+        "spec",
+        "chunks",
+        "chunk_to_gpu",
+        "n",
+        "runs_per_chunk",
+        "emitted_per_chunk",
+        "kept_per_chunk",
+        "work_per_chunk",
+        "routed_per_chunk",
+        "map_received",
+        "queue_fallbacks",
+        "sealed",
+        "outputs",
+        "pairs_per_reducer",
+        "reduced_received",
+        "result",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        spec: MapReduceSpec,
+        chunks: Sequence[Chunk],
+        chunk_to_gpu: Optional[Sequence[int]],
+        result: Optional[InProcessResult] = None,
+    ):
+        self.seq = seq
+        self.spec = spec
+        self.chunks = list(chunks)
+        self.chunk_to_gpu = chunk_to_gpu
+        n = len(self.chunks)
+        self.n = n
+        self.runs_per_chunk: list = [None] * n
+        self.emitted_per_chunk = [0] * n
+        self.kept_per_chunk = [0] * n
+        self.work_per_chunk: list = [None] * n
+        self.routed_per_chunk: list = [None] * n
+        self.map_received = 0
+        self.queue_fallbacks = 0
+        self.sealed = False
+        self.outputs: list = [None] * spec.n_reducers
+        self.pairs_per_reducer = np.zeros(spec.n_reducers, dtype=np.int64)
+        self.reduced_received = 0
+        self.result = result
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
 class SharedMemoryPoolExecutor:
-    """Fan brick map work out across a pool of worker processes.
+    """Fan brick map (and reduce) work out across a pool of workers.
 
     Parameters
     ----------
@@ -116,6 +220,15 @@ class SharedMemoryPoolExecutor:
         Run the identical code path in-process (no processes, no shared
         memory).  Deterministic fallback for tests and constrained
         platforms.
+    reduce_mode:
+        ``"parent"`` (Sort+Reduce in the parent, the default) or
+        ``"worker"`` (per-partition Sort+Reduce on the owning worker —
+        the paper's symmetric layout).  Outputs are bitwise-identical
+        either way.
+    pipeline_depth:
+        Max frames in flight for :meth:`submit`/:meth:`collect`; 1
+        means fully synchronous.  ``execute`` is unaffected by values
+        > 1 unless frames are also submitted asynchronously.
     """
 
     def __init__(
@@ -125,6 +238,8 @@ class SharedMemoryPoolExecutor:
         ring_capacity: int = _DEFAULT_RING_CAPACITY,
         start_method: Optional[str] = None,
         serial: bool = False,
+        reduce_mode: str = "parent",
+        pipeline_depth: int = 1,
     ):
         if workers is None:
             workers = usable_cores()
@@ -132,10 +247,16 @@ class SharedMemoryPoolExecutor:
             raise ValueError("need at least one worker")
         if ring_capacity < 1:
             raise ValueError("ring capacity must be positive")
+        if reduce_mode not in ("parent", "worker"):
+            raise ValueError(f"unknown reduce_mode {reduce_mode!r}")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
         self.workers = int(workers)
         self.config = config if config is not None else JobConfig()
         self.ring_capacity = int(ring_capacity)
         self.serial = bool(serial)
+        self.reduce_mode = reduce_mode
+        self.pipeline_depth = int(pipeline_depth)
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -144,6 +265,9 @@ class SharedMemoryPoolExecutor:
         self._state: dict = {}
         self._arena_fingerprint = None
         self._result_queue = None
+        self._seq = 0
+        self._pending: dict[int, PendingFrame] = {}  # insertion-ordered
+        self._ring_base: list[dict] = []
         self._finalizer = weakref.finalize(self, _cleanup, self._state)
 
     # -- lifecycle ---------------------------------------------------------
@@ -172,12 +296,19 @@ class SharedMemoryPoolExecutor:
         self._state.update(
             procs=procs, task_queues=task_queues, rings=rings
         )
+        self._ring_base = [ring.counters() for ring in rings]
 
     def close(self) -> None:
-        """Shut the pool down and release every shared-memory segment."""
+        """Shut the pool down and release every shared-memory segment.
+
+        Frames still in flight are aborted: collecting their handles
+        afterwards raises.
+        """
         _cleanup(self._state)
         self._arena_fingerprint = None
         self._result_queue = None
+        self._pending.clear()
+        self._ring_base = []
 
     def __enter__(self) -> "SharedMemoryPoolExecutor":
         return self
@@ -226,7 +357,9 @@ class SharedMemoryPoolExecutor:
 
     def _frame_payload(self, spec: MapReduceSpec) -> bytes:
         """Pickle the frame context, with the TF table left in the arena."""
-        ctx = FrameContext.from_spec(spec)
+        ctx = FrameContext.from_spec(
+            spec, include_reducer=self.reduce_mode == "worker"
+        )
         tf = getattr(spec.mapper, "tf", None)
         if tf is not None and getattr(tf, "version", None) is not None:
             ctx.tf_ref = (tf.vmin, tf.vmax)
@@ -236,6 +369,95 @@ class SharedMemoryPoolExecutor:
             finally:
                 spec.mapper.tf = tf
         return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+
+    # -- async frame pipeline ----------------------------------------------
+    def submit(
+        self,
+        spec: MapReduceSpec,
+        chunks: Sequence[Chunk],
+        chunk_to_gpu: Optional[Sequence[int]] = None,
+    ) -> PendingFrame:
+        """Start one frame; pair with :meth:`collect`.
+
+        Seals every frame already in flight first (drains its map
+        results, dispatches its reduce tasks), so the task queues order
+        earlier frames' reduce work ahead of this frame's maps, then
+        enforces the ``pipeline_depth`` cap by force-collecting the
+        oldest frames (their handles return the cached result).
+
+        Any failure to keep the pipeline consistent — a worker-reported
+        error, a ring timeout, a dead worker, Ctrl-C — tears the whole
+        pool down on the way out: leftover ring bytes or queue messages
+        from a partially-drained frame must never be paired with a later
+        frame's chunks.  The next call starts from fresh processes.
+        """
+        if self.serial or len(chunks) == 0:
+            # Zero chunks means nothing to fan out (and nothing to put in
+            # an arena); the serial path returns the same empty-job result
+            # InProcessExecutor produces.
+            result = self._execute_serial(spec, chunks, chunk_to_gpu)
+            self._seq += 1
+            return PendingFrame(
+                self._seq, spec, chunks, chunk_to_gpu, result=result
+            )
+        ids = [c.id for c in chunks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("chunk ids must be unique for the pool executor")
+        self._ensure_started()
+        try:
+            for frame in list(self._pending.values()):
+                self._seal(frame)
+            while len(self._pending) >= self.pipeline_depth:
+                self._collect_oldest()
+            self._publish(spec, chunks)
+            payload = self._frame_payload(spec)
+            for q in self._state["task_queues"]:
+                q.put(("frame", payload))
+            self._seq += 1
+            frame = PendingFrame(self._seq, spec, chunks, chunk_to_gpu)
+            self._pending[frame.seq] = frame
+            for ci, chunk in enumerate(chunks):
+                wi = (
+                    int(chunk_to_gpu[ci]) if chunk_to_gpu is not None else ci
+                ) % self.workers
+                self._state["task_queues"][wi].put(
+                    (
+                        "map",
+                        frame.seq,
+                        ci,
+                        chunk.id,
+                        chunk.nbytes,
+                        chunk.on_disk,
+                        chunk.meta,
+                    )
+                )
+            return frame
+        except BaseException:
+            self.close()
+            raise
+
+    def collect(self, frame: PendingFrame) -> InProcessResult:
+        """Finish ``frame`` and return its result.
+
+        Frames complete in submission order; collecting a newer frame
+        first silently completes the older ones (their handles keep the
+        cached results).
+        """
+        while frame.result is None:
+            if frame.seq not in self._pending:
+                # A stale handle (aborted by an earlier shutdown) is a
+                # caller error, not a pipeline failure: report it without
+                # tearing down whatever healthy pool is running now.
+                raise RuntimeError(
+                    "frame was aborted by a pool shutdown before it "
+                    "could be collected"
+                )
+            try:
+                self._collect_oldest()
+            except BaseException:
+                self.close()
+                raise
+        return frame.result
 
     # -- execution ---------------------------------------------------------
     def execute(
@@ -247,100 +469,169 @@ class SharedMemoryPoolExecutor:
         """Execute ``spec`` over ``chunks`` — same surface as the serial
         executor; ``chunk_to_gpu`` doubles as worker placement (one
         worker per simulated GPU, modulo pool size)."""
-        if self.serial or len(chunks) == 0:
-            # Zero chunks means nothing to fan out (and nothing to put in
-            # an arena); the serial path returns the same empty-job result
-            # InProcessExecutor produces.
-            return self._execute_serial(spec, chunks, chunk_to_gpu)
-        ids = [c.id for c in chunks]
-        if len(set(ids)) != len(ids):
-            raise ValueError("chunk ids must be unique for the pool executor")
-        self._ensure_started()
-        self._publish(spec, chunks)
-        payload = self._frame_payload(spec)
-        for q in self._state["task_queues"]:
-            q.put(("frame", payload))
-        owner = []
-        for ci, chunk in enumerate(chunks):
-            wi = (
-                int(chunk_to_gpu[ci]) if chunk_to_gpu is not None else ci
-            ) % self.workers
-            owner.append(wi)
+        return self.collect(self.submit(spec, chunks, chunk_to_gpu))
+
+    # -- pipeline internals ------------------------------------------------
+    def _oldest(self) -> PendingFrame:
+        return next(iter(self._pending.values()))
+
+    def _seal(self, frame: PendingFrame) -> None:
+        """Bring ``frame`` to the point where later frames may be enqueued:
+        all map results drained and (in worker mode) reduce dispatched."""
+        if frame.sealed:
+            return
+        while frame.map_received < frame.n:
+            self._pump()
+        if self.reduce_mode == "worker":
+            self._dispatch_reduce(frame)
+        frame.sealed = True
+
+    def _dispatch_reduce(self, frame: PendingFrame) -> None:
+        """Ship each worker the chunk-ordered runs of its owned partitions.
+
+        Ownership is ``partition % workers`` — static, so results never
+        depend on scheduling.  The payload is parent-owned memory (ring
+        copies / inline arrays), never arena views, so a later arena
+        republish cannot invalidate it.
+        """
+        n_red = frame.spec.n_reducers
+        for wi in range(self.workers):
+            owned = list(range(wi, n_red, self.workers))
+            if not owned:
+                continue
+            runs_per_chunk = [
+                [frame.runs_per_chunk[ci][r] for r in owned]
+                for ci in range(frame.n)
+            ]
             self._state["task_queues"][wi].put(
-                ("map", ci, chunk.id, chunk.nbytes, chunk.on_disk, chunk.meta)
+                ("reduce", frame.seq, owned, runs_per_chunk)
             )
+        # The parent no longer needs the raw runs: free them eagerly so a
+        # deep pipeline holds at most one frame's fragments at a time.
+        frame.runs_per_chunk = [None] * frame.n
 
-        n_red = spec.n_reducers
-        n = len(chunks)
-        runs_per_chunk: list = [None] * n
-        emitted_per_chunk = [0] * n
-        kept_per_chunk = [0] * n
-        work_per_chunk: list = [None] * n
-        routed_per_chunk: list = [None] * n
-        received = 0
-        rings = self._state["rings"]
-        procs = self._state["procs"]
-        # Any failure to drain this frame cleanly — a worker-reported map
-        # error, a ring timeout, a dead worker, Ctrl-C — leaves rings
-        # and/or the result queue holding this frame's partial state, and
-        # a later execute() would pair those leftovers with the wrong
-        # chunks.  Tear the whole pool down on the way out instead; the
-        # next call starts from fresh processes and segments.
+    def _pump(self, timeout: float = 1.0) -> None:
+        """Receive and route one worker message (or poll for dead workers)."""
         try:
-            while received < n:
-                try:
-                    msg = self._result_queue.get(timeout=1.0)
-                except queue_mod.Empty:
-                    dead = [p.name for p in procs if not p.is_alive()]
-                    if dead:
-                        raise RuntimeError(
-                            f"pool worker(s) died during execute: {dead}"
-                        )
-                    continue
-                if msg[0] == "error":
-                    _, wi, ci, tb = msg
-                    raise RuntimeError(
-                        f"map task failure in the worker pool "
-                        f"[chunk {ci} on worker {wi}]:\n{tb}"
-                    )
-                _, wi, ci, emitted, kept, work, routed, ring_nbytes, inline = msg
-                if inline is not None:
-                    pairs = inline
-                else:
-                    pairs = rings[wi].read_records(ring_nbytes, spec.kv.dtype)
-                runs_per_chunk[ci] = split_runs(pairs, routed)
-                emitted_per_chunk[ci] = emitted
-                kept_per_chunk[ci] = kept
-                work_per_chunk[ci] = work
-                routed_per_chunk[ci] = np.asarray(routed, dtype=np.int64)
-                received += 1
-        except BaseException:
-            self.close()
-            raise
+            msg = self._result_queue.get(timeout=timeout)
+        except queue_mod.Empty:
+            procs = self._state.get("procs", [])
+            dead = [p.name for p in procs if not p.is_alive()]
+            if dead:
+                raise RuntimeError(
+                    f"pool worker(s) died during execute: {dead}"
+                )
+            return
+        kind = msg[0]
+        if kind == "error":
+            _, wi, what, tb = msg
+            raise RuntimeError(
+                f"task failure in the worker pool "
+                f"[{what} on worker {wi}]:\n{tb}"
+            )
+        if kind == "done":
+            (_, wi, seq, ci, emitted, kept, work, routed, ring_nbytes,
+             inline, fallback) = msg
+            frame = self._pending[seq]
+            if inline is not None:
+                pairs = inline
+            else:
+                # Ring bytes are consumed immediately, in per-worker
+                # completion-message order (the ring is FIFO), even when
+                # the message belongs to a newer frame than the one being
+                # collected — frames only reorder at the *result* level.
+                pairs = self._state["rings"][wi].read_records(
+                    ring_nbytes, frame.spec.kv.dtype
+                )
+            frame.runs_per_chunk[ci] = split_runs(pairs, routed)
+            frame.emitted_per_chunk[ci] = emitted
+            frame.kept_per_chunk[ci] = kept
+            frame.work_per_chunk[ci] = work
+            frame.routed_per_chunk[ci] = np.asarray(routed, dtype=np.int64)
+            frame.map_received += 1
+            frame.queue_fallbacks += bool(fallback)
+        elif kind == "reduced":
+            _, wi, seq, owned, outputs, pairs_per_reducer = msg
+            frame = self._pending[seq]
+            for j, r in enumerate(owned):
+                frame.outputs[r] = outputs[j]
+                frame.pairs_per_reducer[r] = int(pairs_per_reducer[j])
+            frame.reduced_received += len(owned)
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected pool message {kind!r}")
 
-        spec.reducer.initialize()
+    def _ring_stats(self, frame: PendingFrame) -> dict:
+        """Per-frame backpressure export: producer stall deltas since the
+        previous collect, absolute high-water marks, queue fallbacks."""
+        per_worker = []
+        for wi, ring in enumerate(self._state.get("rings", [])):
+            now = ring.counters()
+            base = self._ring_base[wi]
+            per_worker.append(
+                {
+                    "worker": wi,
+                    "stall_seconds": now["stall_seconds"]
+                    - base["stall_seconds"],
+                    "stall_events": now["stall_events"]
+                    - base["stall_events"],
+                    "high_water_bytes": now["high_water_bytes"],
+                }
+            )
+            self._ring_base[wi] = now
+        return {
+            "stall_seconds": sum(w["stall_seconds"] for w in per_worker),
+            "stall_events": sum(w["stall_events"] for w in per_worker),
+            "high_water_bytes": max(
+                (w["high_water_bytes"] for w in per_worker), default=0
+            ),
+            "queue_fallbacks": frame.queue_fallbacks,
+            "ring_capacity": self.ring_capacity,
+            "per_worker": per_worker,
+        }
+
+    def _collect_oldest(self) -> None:
+        """Complete the oldest in-flight frame and cache its result."""
+        frame = self._oldest()
+        self._seal(frame)
+        spec = frame.spec
+        if self.reduce_mode == "worker":
+            while frame.reduced_received < spec.n_reducers:
+                self._pump()
+            outputs = frame.outputs
+            pairs_per_reducer = frame.pairs_per_reducer
+        else:
+            spec.reducer.initialize()
+            outputs, pairs_per_reducer = merge_partition_runs(
+                spec, frame.runs_per_chunk
+            )
         stats = JobStats()
         works: list[MapWork] = []
-        for ci, chunk in enumerate(chunks):
+        for ci, chunk in enumerate(frame.chunks):
             stats.add_map(
-                work_per_chunk[ci], emitted_per_chunk[ci], kept_per_chunk[ci]
+                frame.work_per_chunk[ci],
+                frame.emitted_per_chunk[ci],
+                frame.kept_per_chunk[ci],
             )
             works.append(
                 make_map_work(
                     chunk,
-                    chunk_to_gpu[ci] if chunk_to_gpu is not None else 0,
-                    emitted_per_chunk[ci],
-                    work_per_chunk[ci],
-                    routed_per_chunk[ci],
+                    frame.chunk_to_gpu[ci]
+                    if frame.chunk_to_gpu is not None
+                    else 0,
+                    frame.emitted_per_chunk[ci],
+                    frame.work_per_chunk[ci],
+                    frame.routed_per_chunk[ci],
                 )
             )
-        outputs, pairs_per_reducer = merge_partition_runs(spec, runs_per_chunk)
-        return InProcessResult(
+        stats.ring = self._ring_stats(frame)
+        frame.result = InProcessResult(
             outputs=outputs,
             stats=stats,
             pairs_per_reducer=pairs_per_reducer,
             works=works,
         )
+        frame.runs_per_chunk = None  # free the fragment memory
+        del self._pending[frame.seq]
 
     def _execute_serial(
         self,

@@ -15,6 +15,15 @@ Layout of the shared segment::
     header[2] = write cursor (monotonic byte count ever written)
     header[3] = read cursor  (monotonic byte count ever consumed)
     header[4] = record size  (itemsize of the record dtype, advisory)
+    header[5] = stall time   (ns the producer spent blocked on a full ring)
+    header[6] = stall events (writes that found insufficient free space)
+    header[7] = high water   (max occupied bytes ever observed at publish)
+
+Words 5-7 are **backpressure counters**: the producer updates them (it
+is the only writer of each), the consumer may read them at any time to
+export per-worker stall/occupancy diagnostics.  They are advisory —
+monotonic totals since creation, never reset by reads — so a consumer
+wanting per-interval numbers snapshots and diffs them.
 
 Cursors are *monotonic* uint64 byte counts; the physical offset is
 ``cursor % capacity`` and the occupied size is ``write − read``, which
@@ -40,7 +49,16 @@ __all__ = ["ShmRing", "RingTimeout"]
 _MAGIC = 0x52494E47_00000001  # "RING" + layout version
 _HEADER_BYTES = 64
 _HEADER_WORDS = _HEADER_BYTES // 8
-_IDX_MAGIC, _IDX_CAPACITY, _IDX_WRITE, _IDX_READ, _IDX_RECORD = range(5)
+(
+    _IDX_MAGIC,
+    _IDX_CAPACITY,
+    _IDX_WRITE,
+    _IDX_READ,
+    _IDX_RECORD,
+    _IDX_STALL_NS,
+    _IDX_STALL_EVENTS,
+    _IDX_HIGH_WATER,
+) = range(8)
 _POLL_SECONDS = 200e-6
 
 
@@ -105,6 +123,30 @@ class ShmRing:
     def free(self) -> int:
         return self.capacity - self.used
 
+    # -- backpressure counters ---------------------------------------------
+    @property
+    def stall_seconds(self) -> float:
+        """Total time the producer has spent blocked on a full ring."""
+        return int(self._header[_IDX_STALL_NS]) * 1e-9
+
+    @property
+    def stall_events(self) -> int:
+        """Writes that found insufficient free space and had to wait."""
+        return int(self._header[_IDX_STALL_EVENTS])
+
+    @property
+    def high_water(self) -> int:
+        """Maximum occupied bytes ever observed when publishing a write."""
+        return int(self._header[_IDX_HIGH_WATER])
+
+    def counters(self) -> dict:
+        """Snapshot of the producer's backpressure counters."""
+        return {
+            "stall_seconds": self.stall_seconds,
+            "stall_events": self.stall_events,
+            "high_water_bytes": self.high_water,
+        }
+
     # -- producer ----------------------------------------------------------
     def write_bytes(self, payload, timeout: Optional[float] = 30.0) -> None:
         """Append ``payload`` (bytes-like), blocking while the ring is full.
@@ -121,7 +163,16 @@ class ShmRing:
             )
         if n == 0:
             return
-        self._wait(lambda: self.free >= n, timeout, "space")
+        if self.free < n:  # backpressure: the consumer is behind
+            t0 = time.monotonic()
+            self._wait(lambda: self.free >= n, timeout, "space")
+            self._header[_IDX_STALL_NS] = np.uint64(
+                int(self._header[_IDX_STALL_NS])
+                + int((time.monotonic() - t0) * 1e9)
+            )
+            self._header[_IDX_STALL_EVENTS] = np.uint64(
+                int(self._header[_IDX_STALL_EVENTS]) + 1
+            )
         w = int(self._header[_IDX_WRITE])
         start = w % self.capacity
         first = min(n, self.capacity - start)
@@ -131,6 +182,9 @@ class ShmRing:
         # Publish after the copy: the consumer can never observe bytes
         # that are not fully written.
         self._header[_IDX_WRITE] = np.uint64(w + n)
+        occupied = w + n - int(self._header[_IDX_READ])
+        if occupied > int(self._header[_IDX_HIGH_WATER]):
+            self._header[_IDX_HIGH_WATER] = np.uint64(occupied)
 
     # -- consumer ----------------------------------------------------------
     def read_bytes(self, n: int, timeout: Optional[float] = 30.0) -> bytearray:

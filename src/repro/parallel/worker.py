@@ -1,4 +1,4 @@
-"""Pool worker: the per-"GPU" map + partition stage in its own process.
+"""Pool worker: the per-"GPU" Map+Partition — and Sort+Reduce — stages.
 
 Each worker is the multiprocess stand-in for one of the paper's GPUs.
 Its loop consumes control messages from a per-worker task queue:
@@ -7,20 +7,29 @@ Its loop consumes control messages from a per-worker task queue:
     (Re)attach the published chunk/transfer-function arena.
 ``("frame", bytes)``
     Pickled :class:`FrameContext` parts for the next frame — mapper,
-    partitioner, combiner, KV spec, key bound.  The transfer-function
-    table is *not* in the pickle: it lives in the arena and is rebound
-    here (the paper's "static data uploaded once per device").
-``("map", chunk_index, chunk_id, nbytes, on_disk, meta)``
+    partitioner, combiner, reducer, KV spec, key bound.  The transfer
+    -function table is *not* in the pickle: it lives in the arena and is
+    rebound here (the paper's "static data uploaded once per device").
+``("map", frame_seq, chunk_index, chunk_id, nbytes, on_disk, meta)``
     Run Map + Partition for one chunk: ray-cast (or any user mapper),
     validate, discard placeholders, combine, bucket by reducer.  The
     bucketed fragment runs stream back through this worker's shared
     -memory ring; counters travel on the result queue.
+``("reduce", frame_seq, owned_partitions, runs_per_chunk)``
+    Run Sort + Reduce for this worker's *owned* reducer partitions —
+    the paper's symmetric half, where the same devices that mapped also
+    reduce.  ``runs_per_chunk`` holds the chunk-ordered runs for the
+    owned partitions (renumbered ``0..n-1``); the worker executes the
+    **literal** :func:`~repro.core.executors.merge_partition_runs` the
+    parent would have run and ships back composited per-partition
+    ``(keys, values)`` outputs instead of raw fragments.
 ``("stop",)``
     Detach everything and exit.
 
-Determinism: the map kernel is pure NumPy, so a chunk's fragment runs
-are bitwise-identical wherever they execute — the parent only has to
-reassemble them in chunk order to match
+Determinism: the map and reduce kernels are pure NumPy, so a chunk's
+fragment runs — and a partition's reduced spans — are bitwise-identical
+wherever they execute; the parent only has to keep chunk order (for
+runs) and partition order (for reduced outputs) to match
 :class:`~repro.core.executors.InProcessExecutor` exactly.
 """
 
@@ -29,12 +38,16 @@ from __future__ import annotations
 import pickle
 import traceback
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from ..core.chunk import Chunk
-from ..core.executors import map_chunk_to_runs
+from ..core.executors import (
+    PartitionReduceSpec,
+    map_chunk_to_runs,
+    merge_partition_runs,
+)
 from ..core.job import MapReduceSpec
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
@@ -44,25 +57,40 @@ __all__ = ["FrameContext", "map_chunk_to_runs", "worker_main", "TF_ARENA_KEY"]
 #: Arena key under which the transfer-function table is published.
 TF_ARENA_KEY = "__tf_table__"
 
+#: How long a worker will sit in ring backpressure before giving up.
+#: With ``pipeline_depth > 1`` the parent legitimately stops draining
+#: while it reduces/stitches the previous frame, so a blocked write is
+#: the *normal* flow-control state, not an error; the bound exists only
+#: so a truly wedged parent surfaces as a RingTimeout (which tears the
+#: pool down) instead of a silent hang.
+RING_WRITE_TIMEOUT = 300.0
+
 
 @dataclass
 class FrameContext:
-    """Everything a worker needs to map chunks of one frame."""
+    """Everything a worker needs to map — and reduce — chunks of one frame."""
 
     mapper: Any
     partitioner: Any
     combiner: Any
+    reducer: Any
     kv: Any
     max_key: int
     n_reducers: int
     tf_ref: Optional[tuple] = None  # (vmin, vmax) when the table is in the arena
 
     @classmethod
-    def from_spec(cls, spec: MapReduceSpec) -> "FrameContext":
+    def from_spec(
+        cls, spec: MapReduceSpec, include_reducer: bool = False
+    ) -> "FrameContext":
+        # The reducer rides along only when workers will actually reduce
+        # (reduce_mode="worker"); parent-mode jobs keep working even with
+        # reducers that cannot be pickled.
         return cls(
             mapper=spec.mapper,
             partitioner=spec.partitioner,
             combiner=spec.combiner,
+            reducer=spec.reducer if include_reducer else None,
             kv=spec.kv,
             max_key=spec.max_key,
             n_reducers=spec.n_reducers,
@@ -94,7 +122,7 @@ def _handle_map(
     msg: tuple,
 ) -> None:
     """Run one map task and publish its runs (ring) and counters (queue)."""
-    _, ci, chunk_id, nbytes, on_disk, meta = msg
+    _, seq, ci, chunk_id, nbytes, on_disk, meta = msg
     try:
         chunk = Chunk(
             id=chunk_id,
@@ -105,12 +133,15 @@ def _handle_map(
         )
         runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
         total = int(sum(run.nbytes for run in runs))
-        if total <= ring.capacity:
+        fallback = total > ring.capacity
+        if not fallback:
             # Fast path: stream raw run bytes through the ring (reducer
             # order), publish only counts on the queue.
             for run in runs:
                 if len(run):
-                    ring.write_bytes(np.ascontiguousarray(run))
+                    ring.write_bytes(
+                        np.ascontiguousarray(run), timeout=RING_WRITE_TIMEOUT
+                    )
             inline = None
             ring_nbytes = total
         else:
@@ -122,6 +153,7 @@ def _handle_map(
             (
                 "done",
                 worker_id,
+                seq,
                 ci,
                 emitted,
                 kept,
@@ -129,10 +161,50 @@ def _handle_map(
                 routed.tolist(),
                 ring_nbytes,
                 inline,
+                fallback,
             )
         )
     except Exception:
-        result_queue.put(("error", worker_id, ci, traceback.format_exc()))
+        result_queue.put(
+            ("error", worker_id, f"map of chunk {ci}", traceback.format_exc())
+        )
+
+
+def _handle_reduce(
+    worker_id: int,
+    ctx: FrameContext,
+    result_queue,
+    msg: tuple,
+) -> None:
+    """Sort + Reduce this worker's owned partitions for one frame.
+
+    Runs the literal parent-side :func:`merge_partition_runs` over a
+    :class:`PartitionReduceSpec` view in which the owned partitions are
+    renumbered ``0..n-1`` — bitwise parity with parent-side reduce by
+    construction.
+    """
+    _, seq, owned, runs_per_chunk = msg
+    try:
+        ctx.reducer.initialize()
+        view = PartitionReduceSpec(
+            n_reducers=len(owned),
+            kv=ctx.kv,
+            max_key=ctx.max_key,
+            reducer=ctx.reducer,
+        )
+        outputs, pairs_per_reducer = merge_partition_runs(view, runs_per_chunk)
+        result_queue.put(
+            ("reduced", worker_id, seq, owned, outputs, pairs_per_reducer)
+        )
+    except Exception:
+        result_queue.put(
+            (
+                "error",
+                worker_id,
+                f"reduce of partitions {owned}",
+                traceback.format_exc(),
+            )
+        )
 
 
 def worker_main(
@@ -171,9 +243,19 @@ def worker_main(
                 # fragment runs) are released as soon as it returns — the
                 # final unmap in the ``finally`` below must see no views.
                 _handle_map(worker_id, ctx, view, ring, result_queue, msg)
+            elif kind == "reduce":
+                # Worker-side Sort+Reduce of the partitions this worker
+                # owns; the payload is parent-copied memory, never arena
+                # views, so it is ordering-safe w.r.t. arena republish.
+                _handle_reduce(worker_id, ctx, result_queue, msg)
             else:
                 result_queue.put(
-                    ("error", worker_id, -1, f"unknown message {kind!r}")
+                    (
+                        "error",
+                        worker_id,
+                        "message dispatch",
+                        f"unknown message {kind!r}",
+                    )
                 )
     finally:
         ctx = None  # release arena-backed views before unmapping

@@ -47,7 +47,7 @@ from .workload import build_workload
 # plan_residency / strip_uploads are imported lazily inside
 # render_sequence to avoid an import cycle with pipeline.outofcore.
 
-__all__ = ["RenderResult", "MapReduceVolumeRenderer"]
+__all__ = ["FrameHandle", "RenderResult", "MapReduceVolumeRenderer"]
 
 
 @dataclass
@@ -65,6 +65,18 @@ class RenderResult:
         if self.outcome is None:
             raise ValueError("no timing available (exec-only render)")
         return self.outcome.total_runtime
+
+
+@dataclass
+class FrameHandle:
+    """An in-flight frame started by
+    :meth:`MapReduceVolumeRenderer.submit_frame`; redeem it with
+    :meth:`MapReduceVolumeRenderer.collect_frame`."""
+
+    camera: Camera
+    grid: "BrickGrid"
+    pending: object  # executor PendingFrame, or a finished result
+    asynchronous: bool  # whether `pending` still needs executor.collect()
 
 
 class MapReduceVolumeRenderer:
@@ -92,6 +104,19 @@ class MapReduceVolumeRenderer:
         ``execute(spec, chunks, chunk_to_gpu)``.  Pool renderers should
         be closed (or used as context managers) to release worker
         processes and shared memory.
+    reduce_mode:
+        Where the pool executor runs Sort+Reduce: ``"parent"`` (default)
+        or ``"worker"`` (each worker reduces its owned partitions and
+        ships back composited pixel spans — the paper's symmetric
+        layout).  Bitwise-identical output either way; ignored by the
+        in-process executor, which is its own single device.
+    pipeline_depth:
+        Max frames in flight for the pool executor's async
+        :meth:`submit_frame`/:meth:`collect_frame` pipeline (used by
+        :func:`~repro.pipeline.driver.render_rotation` for exec-mode
+        orbits).  1 (default) is fully synchronous; 2 double-buffers:
+        workers map+reduce frame *k+1* while the parent stitches frame
+        *k*.
     """
 
     def __init__(
@@ -106,6 +131,8 @@ class MapReduceVolumeRenderer:
         partitioner_factory: Optional[Callable[[int], Partitioner]] = None,
         executor: str | object = "inprocess",
         workers: Optional[int] = None,
+        reduce_mode: str = "parent",
+        pipeline_depth: int = 1,
     ):
         if volume is None and volume_shape is None:
             raise ValueError("need a volume or a volume_shape")
@@ -122,8 +149,14 @@ class MapReduceVolumeRenderer:
         self._partitioner_factory = partitioner_factory or RoundRobinPartitioner
         if isinstance(executor, str) and executor not in ("inprocess", "pool"):
             raise ValueError(f"unknown executor {executor!r}")
+        if reduce_mode not in ("parent", "worker"):
+            raise ValueError(f"unknown reduce_mode {reduce_mode!r}")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
         self.executor = executor
         self.workers = workers
+        self.reduce_mode = reduce_mode
+        self.pipeline_depth = int(pipeline_depth)
         self._exec_instance = None
 
     @property
@@ -151,7 +184,10 @@ class MapReduceVolumeRenderer:
                 if workers is None:
                     workers = default_pool_workers(self.n_gpus)
                 self._exec_instance = SharedMemoryPoolExecutor(
-                    workers=workers, config=self.job_config
+                    workers=workers,
+                    config=self.job_config,
+                    reduce_mode=self.reduce_mode,
+                    pipeline_depth=self.pipeline_depth,
                 )
             else:
                 self._exec_instance = InProcessExecutor(self.job_config)
@@ -248,13 +284,7 @@ class MapReduceVolumeRenderer:
         if mode not in ("exec", "both", "sim"):
             raise ValueError(f"unknown mode {mode!r}")
         grid = grid or self._grid(bricks_per_gpu)
-        max_vram = max(g.vram_bytes for g in self.cluster_spec.gpu_specs())
-        oversized = grid.max_brick_nbytes()
-        if oversized > max_vram:
-            raise MemoryError(
-                f"brick of {oversized} B exceeds GPU VRAM {max_vram} B; "
-                "use more bricks per GPU"
-            )
+        self._check_grid(grid)
 
         if mode == "sim":
             works = build_workload(
@@ -280,14 +310,75 @@ class MapReduceVolumeRenderer:
                 n_gpus=self.n_gpus,
             )
 
-        # Functional execution.
-        spec = self._spec(camera)
-        return self._render_exec(camera, mode, grid, out_of_core, spec)
+        # Functional execution: the synchronous render is exactly one
+        # submit/collect round trip, so chunk construction and placement
+        # live only in submit_frame.
+        handle = self.submit_frame(
+            camera, bricks_per_gpu=bricks_per_gpu,
+            out_of_core=out_of_core, grid=grid,
+        )
+        return self.collect_frame(handle, mode=mode)
 
-    def _render_exec(self, camera, mode, grid, out_of_core, spec) -> RenderResult:
+    def submit_frame(
+        self,
+        camera: Camera,
+        bricks_per_gpu: int = 2,
+        out_of_core: bool = False,
+        grid: Optional[BrickGrid] = None,
+    ) -> FrameHandle:
+        """Start a functional frame without waiting for it.
+
+        With a pool executor and ``pipeline_depth > 1`` this is the
+        async half of the double-buffered orbit pipeline: map (and
+        worker-side reduce) work for this frame is enqueued — and its
+        arena, including any out-of-core chunk loads, published — while
+        previously submitted frames are still being collected and
+        stitched.  With a synchronous executor the frame simply runs to
+        completion here.  Redeem the handle with :meth:`collect_frame`;
+        frames complete in submission order.
+        """
+        grid = grid or self._grid(bricks_per_gpu)
+        self._check_grid(grid)
+        spec = self._spec(camera)
         chunks = self._chunks(grid, out_of_core)
         chunk_to_gpu = [c.id % self.n_gpus for c in chunks]
-        result = self._executor().execute(spec, chunks, chunk_to_gpu)
+        ex = self._executor()
+        if hasattr(ex, "submit") and hasattr(ex, "collect"):
+            return FrameHandle(camera, grid, ex.submit(spec, chunks, chunk_to_gpu), True)
+        return FrameHandle(camera, grid, ex.execute(spec, chunks, chunk_to_gpu), False)
+
+    def collect_frame(self, handle: FrameHandle, mode: str = "exec") -> RenderResult:
+        """Finish a frame started by :meth:`submit_frame` and stitch it.
+
+        ``mode`` is ``"exec"`` or ``"both"`` (sim-mode frames have no
+        functional execution to pipeline).
+        """
+        if mode not in ("exec", "both"):
+            raise ValueError(f"unknown mode {mode!r} for collect_frame")
+        if handle.asynchronous:
+            result = self._executor().collect(handle.pending)
+        else:
+            result = handle.pending
+        return self._finish_exec(handle.camera, mode, handle.grid, result)
+
+    @property
+    def frame_pipeline_depth(self) -> int:
+        """Frames the active executor can keep in flight (1 = serial)."""
+        ex = self._executor()
+        if hasattr(ex, "submit") and hasattr(ex, "collect"):
+            return int(getattr(ex, "pipeline_depth", 1))
+        return 1
+
+    def _check_grid(self, grid: BrickGrid) -> None:
+        max_vram = max(g.vram_bytes for g in self.cluster_spec.gpu_specs())
+        oversized = grid.max_brick_nbytes()
+        if oversized > max_vram:
+            raise MemoryError(
+                f"brick of {oversized} B exceeds GPU VRAM {max_vram} B; "
+                "use more bricks per GPU"
+            )
+
+    def _finish_exec(self, camera, mode, grid, result) -> RenderResult:
         parts = [
             (keys, values) for keys, values in result.outputs if len(keys)
         ]

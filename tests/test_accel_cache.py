@@ -71,6 +71,75 @@ def test_invalidate_volume_mints_fresh_token():
     assert volume_token(v) != t
 
 
+def test_invalidate_volume_end_to_end_after_inplace_edit():
+    """The escape hatch must actually work: an in-place voxel edit
+    followed by invalidate_volume() renders bitwise-identical to a cold
+    render of the edited data — through the serial executor (stale
+    accel tables) and the pool executor (stale shared-memory arenas)."""
+    import copy
+
+    from repro.render.accel import invalidate_volume
+
+    vol = make_dataset("skull", (24,) * 3)
+    cam = orbit_camera(vol.shape, azimuth_deg=40.0, width=64, height=64)
+    cfg = RenderConfig(dt=0.75)
+
+    r = MapReduceVolumeRenderer(volume=vol, cluster=2, render_config=cfg)
+    before = r.render(cam, mode="exec").image
+    r.render(cam, mode="exec")  # warm the accel cache
+
+    # In-place edit: drop a dense block into a previously empty corner —
+    # exactly the region a stale empty-space table would wrongly skip.
+    vol.data[:10, :10, :10] = float(vol.data.max())
+    invalidate_volume(vol)
+    warm = r.render(cam, mode="exec").image
+
+    # Cold oracle: same bytes, fresh object, fresh caches.
+    vol2 = copy.deepcopy(vol)
+    shared_cache().clear()
+    cold = (
+        MapReduceVolumeRenderer(volume=vol2, cluster=2, render_config=cfg)
+        .render(cam, mode="exec")
+        .image
+    )
+    assert not np.array_equal(cold, before)  # the edit is actually visible
+    assert np.array_equal(warm, cold)
+
+
+def test_invalidate_volume_end_to_end_pool_arena():
+    import copy
+
+    from repro.render.accel import invalidate_volume
+
+    vol = make_dataset("skull", (24,) * 3)
+    cam = orbit_camera(vol.shape, azimuth_deg=40.0, width=64, height=64)
+    cfg = RenderConfig(dt=0.75)
+
+    with MapReduceVolumeRenderer(
+        volume=vol, cluster=2, render_config=cfg,
+        executor="pool", workers=2, reduce_mode="worker",
+    ) as rp:
+        before = rp.render(cam, mode="exec").image
+        vol.data[:10, :10, :10] = float(vol.data.max())
+        # Without invalidation the arena fingerprint is unchanged, so the
+        # pool keeps rendering the *stale* published voxels — that is the
+        # documented hazard the escape hatch exists for.
+        stale = rp.render(cam, mode="exec").image
+        assert np.array_equal(stale, before)
+        invalidate_volume(vol)
+        fresh = rp.render(cam, mode="exec").image
+
+    vol2 = copy.deepcopy(vol)
+    shared_cache().clear()
+    cold = (
+        MapReduceVolumeRenderer(volume=vol2, cluster=2, render_config=cfg)
+        .render(cam, mode="exec")
+        .image
+    )
+    assert not np.array_equal(cold, before)
+    assert np.array_equal(fresh, cold)
+
+
 def test_volume_token_never_reused_after_gc():
     import gc
 

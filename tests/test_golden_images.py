@@ -1,0 +1,233 @@
+"""Golden-image regression suite.
+
+Small deterministic rendered fixtures (cameras × transfer functions ×
+brick layouts, float32 arrays in ``tests/golden/*.npz``) pin the exact
+output of the functional pipeline.  Every executor / reduce-mode /
+pipeline-depth combination must reproduce them **bitwise** — the
+concurrency machinery (worker scheduling, ring streaming, worker-side
+reduce placement, frame pipelining) must never leak into the image or
+the deterministic counters.
+
+The pipeline is pure NumPy (float32 IEEE ops, stable sorts), so the
+fixtures are reproducible across runs and processes.  If an intentional
+kernel change shifts the output, regenerate them with::
+
+    PYTHONPATH=src python tests/test_golden_images.py --regen
+
+and commit the new ``.npz`` files together with the kernel change.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MapReduceVolumeRenderer, make_dataset, orbit_camera  # noqa: E402
+from repro.core import InProcessExecutor  # noqa: E402
+from repro.parallel import SharedMemoryPoolExecutor  # noqa: E402
+from repro.render import RenderConfig, default_tf, grayscale_tf  # noqa: E402
+from repro.render.stitch import stitch_pixels  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_TFS = {"default": default_tf, "grayscale": grayscale_tf}
+
+# A few cameras × transfer functions × brick layouts: small enough to
+# commit, varied enough to cover ERT on/off, placeholder emission,
+# multi-brick layouts, and an uneven reducer count.
+SCENES = {
+    "skull_default_az40": dict(
+        dataset="skull", size=24, gpus=2, bricks_per_gpu=2, image=64,
+        azimuth=40.0, elevation=20.0, tf="default", dt=0.75,
+        ert_alpha=0.98, placeholders=False,
+    ),
+    "skull_default_az130": dict(
+        dataset="skull", size=24, gpus=2, bricks_per_gpu=2, image=64,
+        azimuth=130.0, elevation=-15.0, tf="default", dt=0.75,
+        ert_alpha=0.98, placeholders=False,
+    ),
+    "skull_gray_az40": dict(
+        dataset="skull", size=24, gpus=2, bricks_per_gpu=2, image=64,
+        azimuth=40.0, elevation=20.0, tf="grayscale", dt=0.75,
+        ert_alpha=0.98, placeholders=False,
+    ),
+    "skull_noert_placeholders": dict(
+        dataset="skull", size=24, gpus=2, bricks_per_gpu=2, image=64,
+        azimuth=40.0, elevation=20.0, tf="default", dt=0.75,
+        ert_alpha=1.0, placeholders=True,
+    ),
+    "plume_gpus3_bpg1": dict(
+        dataset="plume", size=20, gpus=3, bricks_per_gpu=1, image=64,
+        azimuth=75.0, elevation=10.0, tf="default", dt=0.75,
+        ert_alpha=0.98, placeholders=False,
+    ),
+}
+
+
+def build_job(name):
+    """Renderer + camera + chunk placement for one golden scene."""
+    s = SCENES[name]
+    vol = make_dataset(s["dataset"], (s["size"],) * 3)
+    cam = orbit_camera(
+        vol.shape,
+        azimuth_deg=s["azimuth"],
+        elevation_deg=s["elevation"],
+        width=s["image"],
+        height=s["image"],
+    )
+    r = MapReduceVolumeRenderer(
+        volume=vol,
+        cluster=s["gpus"],
+        tf=_TFS[s["tf"]](),
+        render_config=RenderConfig(
+            dt=s["dt"],
+            ert_alpha=s["ert_alpha"],
+            emit_placeholders=s["placeholders"],
+        ),
+    )
+    chunks = r._chunks(r._grid(s["bricks_per_gpu"]), False)
+    ctg = [c.id % r.n_gpus for c in chunks]
+    return r, cam, chunks, ctg
+
+
+def run_job(executor, r, cam, chunks, ctg):
+    """Execute one prepared job → (image, InProcessResult)."""
+    result = executor.execute(r._spec(cam), chunks, ctg)
+    parts = [(k, v) for k, v in result.outputs if len(k)]
+    image = stitch_pixels(parts, cam.width, cam.height)
+    return image, result
+
+
+def render_scene(name, executor):
+    """Run one scene through ``executor`` → (image, InProcessResult)."""
+    return run_job(executor, *build_job(name))
+
+
+def golden_path(name) -> Path:
+    return GOLDEN_DIR / f"{name}.npz"
+
+
+def load_golden(name):
+    path = golden_path(name)
+    if not path.exists():  # pragma: no cover - missing fixture is an error
+        pytest.fail(
+            f"golden fixture {path} missing; regenerate with "
+            f"`PYTHONPATH=src python {__file__} --regen`"
+        )
+    with np.load(path) as z:
+        return {k: z[k] for k in z.files}
+
+
+def assert_matches_golden(name, image, result):
+    g = load_golden(name)
+    assert image.dtype == np.float32
+    assert np.array_equal(image, g["image"]), f"{name}: image diverged"
+    assert np.array_equal(
+        result.pairs_per_reducer, g["pairs_per_reducer"]
+    ), f"{name}: per-reducer routing diverged"
+    s = result.stats
+    counters = np.array(
+        [s.n_chunks, s.n_rays, s.n_samples, s.n_pairs_emitted, s.n_pairs_kept],
+        dtype=np.int64,
+    )
+    assert np.array_equal(counters, g["counters"]), f"{name}: stats diverged"
+
+
+# -- tier-1: serial oracle + the pool smoke set ------------------------------
+@pytest.mark.parametrize("scene", sorted(SCENES))
+def test_inprocess_matches_golden(scene):
+    image, result = render_scene(scene, InProcessExecutor())
+    assert_matches_golden(scene, image, result)
+
+
+@pytest.mark.parametrize("scene", sorted(SCENES))
+def test_pool_worker_reduce_matches_golden(scene):
+    with SharedMemoryPoolExecutor(workers=2, reduce_mode="worker") as pool:
+        image, result = render_scene(scene, pool)
+    assert_matches_golden(scene, image, result)
+
+
+def test_pool_parent_reduce_pipelined_matches_golden():
+    with SharedMemoryPoolExecutor(
+        workers=2, reduce_mode="parent", pipeline_depth=2
+    ) as pool:
+        image, result = render_scene("skull_default_az40", pool)
+    assert_matches_golden("skull_default_az40", image, result)
+
+
+def test_pool_serial_fallback_matches_golden():
+    pool = SharedMemoryPoolExecutor(workers=1, serial=True)
+    image, result = render_scene("skull_gray_az40", pool)
+    assert_matches_golden("skull_gray_az40", image, result)
+
+
+# -- slow: the full executor × reduce-mode × depth × workers matrix ----------
+@pytest.mark.slow
+@pytest.mark.parametrize("scene", sorted(SCENES))
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
+@pytest.mark.parametrize("pipeline_depth", [1, 2])
+def test_pool_matrix_matches_golden(scene, workers, reduce_mode, pipeline_depth):
+    job = build_job(scene)
+    with SharedMemoryPoolExecutor(
+        workers=workers,
+        reduce_mode=reduce_mode,
+        pipeline_depth=pipeline_depth,
+    ) as pool:
+        # Render the *same* job twice: the volume object (and so its
+        # identity token) is shared, so the second pass actually hits the
+        # resident-arena + warm accel-cache path, which must stay
+        # bitwise stable.
+        image, result = run_job(pool, *job)
+        assert pool._arena_fingerprint is not None
+        image2, result2 = run_job(pool, *job)
+    assert_matches_golden(scene, image, result)
+    assert_matches_golden(scene, image2, result2)
+
+
+# -- fixture (re)generation --------------------------------------------------
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(SCENES):
+        image, result = render_scene(name, InProcessExecutor())
+        s = result.stats
+        np.savez_compressed(
+            golden_path(name),
+            image=image,
+            pairs_per_reducer=result.pairs_per_reducer,
+            counters=np.array(
+                [
+                    s.n_chunks,
+                    s.n_rays,
+                    s.n_samples,
+                    s.n_pairs_emitted,
+                    s.n_pairs_kept,
+                ],
+                dtype=np.int64,
+            ),
+        )
+        print(
+            f"wrote {golden_path(name)} "
+            f"({image.shape[1]}x{image.shape[0]}, "
+            f"{result.stats.n_pairs_kept} fragments kept)"
+        )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    ap = argparse.ArgumentParser(description="golden fixture maintenance")
+    ap.add_argument(
+        "--regen",
+        action="store_true",
+        help="re-render every fixture with the serial executor and "
+        "overwrite tests/golden/*.npz",
+    )
+    args = ap.parse_args()
+    if args.regen:
+        regenerate()
+    else:
+        ap.error("nothing to do (pass --regen)")

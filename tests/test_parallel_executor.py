@@ -8,6 +8,7 @@ scheduling must never leak into the rendered image.  Multi-worker
 variants beyond the tier-1 smoke set are marked ``slow``.
 """
 
+import os
 import threading
 import time
 
@@ -95,6 +96,28 @@ def test_pool_matches_inprocess(workers):
     run_equivalence(workers)
 
 
+@pytest.mark.parametrize("workers", [1, 2])
+def test_pool_worker_reduce_matches_inprocess(workers):
+    # The paper's symmetric layout: Sort+Reduce on the owning worker.
+    run_equivalence(workers, reduce_mode="worker")
+
+
+def test_pool_worker_reduce_with_pipeline_depth_matches():
+    run_equivalence(2, reduce_mode="worker", pipeline_depth=2)
+
+
+def test_pool_worker_reduce_more_reducers_than_workers():
+    # gpus=3 -> 3 reducer partitions over 2 workers: worker 0 owns {0, 2}.
+    run_equivalence(2, gpus=3, bricks_per_gpu=3, reduce_mode="worker")
+
+
+def test_pool_rejects_bad_knobs():
+    with pytest.raises(ValueError, match="reduce_mode"):
+        SharedMemoryPoolExecutor(workers=1, reduce_mode="gpu")
+    with pytest.raises(ValueError, match="pipeline depth"):
+        SharedMemoryPoolExecutor(workers=1, pipeline_depth=0)
+
+
 def test_serial_fallback_matches_inprocess():
     run_equivalence(1, serial=True)
 
@@ -120,6 +143,102 @@ def test_pool_inline_fallback_when_chunk_outgrows_ring():
     # A ring too small for any chunk's fragments forces the queue path;
     # results must be unchanged.
     run_equivalence(2, ring_capacity=256)
+
+
+def test_pool_counts_queue_fallbacks():
+    r, cam = make_scene()
+    chunks, ctg = scene_job(r, cam)
+    with SharedMemoryPoolExecutor(workers=2, ring_capacity=256) as pool:
+        got = pool.execute(r._spec(cam), chunks, ctg)
+    assert got.stats.ring is not None
+    assert 1 <= got.stats.ring["queue_fallbacks"] <= len(chunks)
+    assert got.stats.ring["ring_capacity"] == 256
+
+
+def test_pipelined_orbit_smoke_bitwise_and_walls():
+    """Tier-1 smoke: a depth-2 worker-reduce orbit is bitwise-identical
+    to the serial orbit and records one wall time per frame."""
+    from repro.pipeline import render_rotation
+
+    r_ref, _ = make_scene()
+    ref = render_rotation(
+        r_ref, n_frames=3, mode="exec", width=64, height=64, keep_images=True
+    )
+    with MapReduceVolumeRenderer(
+        volume=r_ref.volume,
+        cluster=2,
+        render_config=r_ref.render_config,
+        executor="pool",
+        workers=2,
+        reduce_mode="worker",
+        pipeline_depth=2,
+    ) as r:
+        assert r.frame_pipeline_depth == 2
+        rot = render_rotation(
+            r, n_frames=3, mode="exec", width=64, height=64, keep_images=True
+        )
+    assert len(rot.wall_seconds) == 3 and all(w > 0 for w in rot.wall_seconds)
+    for img, img_ref in zip(rot.images, ref.images):
+        assert np.array_equal(img, img_ref)
+
+
+def test_pipelined_out_of_core_orbit_matches_serial():
+    """Out-of-core frames through the submit/collect pipeline: chunk
+    loads feed the arena at submit time (the prefetch path) and images
+    stay bitwise-identical to the serial out-of-core render."""
+    from repro.render import RenderConfig
+    from repro.volume.datasets import DATASET_FIELDS
+
+    cfg = RenderConfig(dt=0.75)
+    shape = (24,) * 3
+    cams = [
+        orbit_camera(shape, azimuth_deg=a, width=64, height=64)
+        for a in (0.0, 120.0, 240.0)
+    ]
+    ref = MapReduceVolumeRenderer(
+        volume_shape=shape,
+        field=DATASET_FIELDS["skull"],
+        cluster=2,
+        render_config=cfg,
+    )
+    refs = [ref.render(c, mode="exec", out_of_core=True).image for c in cams]
+    with MapReduceVolumeRenderer(
+        volume_shape=shape,
+        field=DATASET_FIELDS["skull"],
+        cluster=2,
+        render_config=cfg,
+        executor="pool",
+        workers=2,
+        reduce_mode="worker",
+        pipeline_depth=2,
+    ) as r:
+        handles = [r.submit_frame(c, out_of_core=True) for c in cams]
+        imgs = [r.collect_frame(h).image for h in handles]
+    for img_ref, img in zip(refs, imgs):
+        assert np.array_equal(img_ref, img)
+
+
+def test_submit_collect_out_of_order_and_depth_cap():
+    """Collecting a newer handle first completes the older ones; the
+    depth cap force-collects the oldest at submit time."""
+    r, _ = make_scene()
+    cams = [
+        orbit_camera(r.volume_shape, azimuth_deg=a, width=64, height=64)
+        for a in (0.0, 120.0, 240.0)
+    ]
+    chunks, ctg = scene_job(r, cams[0])
+    refs = [InProcessExecutor().execute(r._spec(c), chunks, ctg) for c in cams]
+    with SharedMemoryPoolExecutor(
+        workers=2, reduce_mode="worker", pipeline_depth=2
+    ) as pool:
+        handles = [pool.submit(r._spec(c), chunks, ctg) for c in cams]
+        # Depth 2: submitting the 3rd frame must have force-collected the 1st.
+        assert handles[0].done and not handles[2].done
+        got_last = pool.collect(handles[2])  # completes #1 on the way
+        assert handles[1].done
+        assert_results_identical(refs[2], got_last)
+        assert_results_identical(refs[0], pool.collect(handles[0]))
+        assert_results_identical(refs[1], pool.collect(handles[1]))
 
 
 def test_renderer_pool_image_identical():
@@ -148,6 +267,47 @@ def test_pool_matches_inprocess_matrix(workers, gpus, bricks_per_gpu, ert_alpha)
     run_equivalence(
         workers, gpus=gpus, bricks_per_gpu=bricks_per_gpu, ert_alpha=ert_alpha
     )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("pipeline_depth", [1, 2, 3])
+@pytest.mark.parametrize("gpus,bricks_per_gpu", [(2, 2), (3, 3)])
+def test_pool_worker_reduce_matrix(workers, pipeline_depth, gpus, bricks_per_gpu):
+    run_equivalence(
+        workers,
+        gpus=gpus,
+        bricks_per_gpu=bricks_per_gpu,
+        reduce_mode="worker",
+        pipeline_depth=pipeline_depth,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pipelined_orbit_matches_serial_matrix(reduce_mode, workers):
+    from repro.pipeline import render_rotation
+
+    r_ref, _ = make_scene()
+    ref = render_rotation(
+        r_ref, n_frames=4, mode="exec", width=64, height=64, keep_images=True
+    )
+    with MapReduceVolumeRenderer(
+        volume=r_ref.volume,
+        cluster=2,
+        render_config=r_ref.render_config,
+        executor="pool",
+        workers=workers,
+        reduce_mode=reduce_mode,
+        pipeline_depth=2,
+    ) as r:
+        rot = render_rotation(
+            r, n_frames=4, mode="exec", width=64, height=64, keep_images=True
+        )
+    assert len(rot.images) == len(ref.images) == 4
+    for img, img_ref in zip(rot.images, ref.images):
+        assert np.array_equal(img, img_ref)
 
 
 # -- generic (non-render) jobs through the pool ------------------------------
@@ -232,6 +392,151 @@ def test_pool_propagates_worker_errors_and_resets():
         )
         got = pool.execute(good, [Chunk(id=0, nbytes=data.nbytes, data=data)])
         assert_results_identical(ref, got)
+
+
+class ExitMapper(Mapper):
+    """Hard-kills the worker process on one specific chunk (no cleanup,
+    no exception — the way a real segfault/OOM kill looks)."""
+
+    def __init__(self, kill_chunk):
+        self.kill_chunk = kill_chunk
+        self.inner = ModSquareMapper(9)
+
+    def map(self, chunk):
+        if chunk.id == self.kill_chunk:
+            os._exit(3)
+        return self.inner.map(chunk)
+
+
+def _generic_job(mapper, n_chunks=4, n_reducers=2, seed=13):
+    rng = np.random.default_rng(seed)
+    datas = [rng.integers(0, 100, 32).astype(np.int64) for _ in range(n_chunks)]
+    chunks = [
+        Chunk(id=i, nbytes=d.nbytes, data=d) for i, d in enumerate(datas)
+    ]
+    spec = MapReduceSpec(
+        mapper=mapper,
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(n_reducers),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    return spec, chunks
+
+
+@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
+def test_pool_worker_crash_mid_frame_teardown_and_retry(reduce_mode):
+    """Kill a worker mid-frame: the pool must tear down cleanly (no
+    leaked shared-memory segments), and a retry on the same executor
+    must run on a fresh pool with no stale ring bytes."""
+    good_spec, chunks = _generic_job(ModSquareMapper(9))
+    crash_spec, _ = _generic_job(ExitMapper(kill_chunk=2))
+    ref = InProcessExecutor().execute(good_spec, chunks, [0, 1, 0, 1])
+    pool = SharedMemoryPoolExecutor(workers=2, reduce_mode=reduce_mode)
+    try:
+        # Warm frame: creates rings + arena whose names we can audit.
+        got = pool.execute(good_spec, chunks, [0, 1, 0, 1])
+        assert_results_identical(ref, got)
+        names = [ring.name for ring in pool._state["rings"]]
+        names.append(pool._state["arena"].name)
+
+        with pytest.raises(RuntimeError, match="died during execute"):
+            pool.execute(crash_spec, chunks, [0, 1, 0, 1])
+        assert not pool.running
+        for name in names:
+            assert not shm_segment_exists(name), f"leaked segment {name}"
+
+        # Retry: a fresh pool (new processes, new segments) — chunk 0's
+        # fragments from the crashed frame must not bleed into this one.
+        got = pool.execute(good_spec, chunks, [0, 1, 0, 1])
+        assert_results_identical(ref, got)
+    finally:
+        pool.close()
+
+
+@pytest.mark.slow
+def test_pool_crash_soak_pipelined():
+    """Soak: interleave pipelined frames with a mid-flight worker crash
+    repeatedly; every recovery must produce bitwise-correct results and
+    release every shared-memory segment."""
+    good_spec, chunks = _generic_job(ModSquareMapper(9), n_chunks=6)
+    crash_spec, _ = _generic_job(ExitMapper(kill_chunk=4), n_chunks=6)
+    ref = InProcessExecutor().execute(good_spec, chunks)
+    with SharedMemoryPoolExecutor(
+        workers=2, reduce_mode="worker", pipeline_depth=2
+    ) as pool:
+        for _ in range(3):
+            h1 = pool.submit(good_spec, chunks)
+            h2 = pool.submit(good_spec, chunks)
+            assert_results_identical(ref, pool.collect(h1))
+            names = [r.name for r in pool._state["rings"]]
+            names.append(pool._state["arena"].name)
+            with pytest.raises(RuntimeError):
+                pool.collect(pool.submit(crash_spec, chunks))
+            assert not pool.running
+            # h2 was in flight when the pool died.  Depending on whether
+            # its (already queued) results drained before the crash was
+            # detected, it either completed bitwise-correct or aborted —
+            # but it must never return wrong data or hang.
+            if h2.done:
+                assert_results_identical(ref, pool.collect(h2))
+            else:
+                with pytest.raises(RuntimeError, match="aborted"):
+                    pool.collect(h2)
+            for name in names:
+                assert not shm_segment_exists(name), f"leaked segment {name}"
+            assert_results_identical(ref, pool.execute(good_spec, chunks))
+
+
+class BoomReducer(SumReducer):
+    def reduce_all(self, pairs):
+        raise RuntimeError("boom in reduce")
+
+
+def test_worker_reduce_errors_name_the_reduce_stage():
+    spec, chunks = _generic_job(ModSquareMapper(9))
+    spec.reducer = BoomReducer()
+    with SharedMemoryPoolExecutor(workers=1, reduce_mode="worker") as pool:
+        with pytest.raises(RuntimeError, match="reduce of partitions"):
+            pool.execute(spec, chunks)
+        assert not pool.running  # failed frames always tear the pool down
+
+
+class UnpicklableSumReducer(SumReducer):
+    """A reducer carrying a resource that cannot cross process lines."""
+
+    def __init__(self):
+        self.lock = threading.Lock()  # pickling this raises TypeError
+
+
+def test_parent_reduce_tolerates_unpicklable_reducer():
+    # Parent-mode workers never see the reducer, so it must not be
+    # pickled into the frame payload (PR-2 behavior, preserved).
+    spec, chunks = _generic_job(ModSquareMapper(9))
+    spec.reducer = UnpicklableSumReducer()
+    ref = InProcessExecutor().execute(spec, chunks)
+    with SharedMemoryPoolExecutor(workers=2, reduce_mode="parent") as pool:
+        got = pool.execute(spec, chunks)
+    assert_results_identical(ref, got)
+
+
+def test_stale_aborted_handle_does_not_kill_restarted_pool():
+    """Collecting a handle that died with an earlier pool incarnation
+    must raise — without tearing down the healthy pool running now."""
+    good_spec, chunks = _generic_job(ModSquareMapper(9))
+    ref = InProcessExecutor().execute(good_spec, chunks)
+    with SharedMemoryPoolExecutor(workers=2, pipeline_depth=2) as pool:
+        stale = pool.submit(good_spec, chunks)
+        pool.close()  # aborts the in-flight frame
+        assert not stale.done
+        # Restart: a new frame in flight on a fresh pool...
+        live = pool.submit(good_spec, chunks)
+        assert pool.running
+        # ...the stale handle errors but leaves the new pool untouched.
+        with pytest.raises(RuntimeError, match="aborted"):
+            pool.collect(stale)
+        assert pool.running
+        assert_results_identical(ref, pool.collect(live))
 
 
 def test_pool_handles_empty_chunk_list():
@@ -330,6 +635,82 @@ def test_ring_validation():
             ring.read_records(6, np.dtype(np.int32))  # not whole records
     with pytest.raises(ValueError):
         ShmRing.create(capacity=0)
+
+
+def test_ring_backpressure_counters():
+    """Stall time/events and the high-water mark move exactly when the
+    producer actually blocks on a full ring."""
+    with ShmRing.create(capacity=16) as ring:
+        assert ring.counters() == {
+            "stall_seconds": 0.0,
+            "stall_events": 0,
+            "high_water_bytes": 0,
+        }
+        ring.write_bytes(b"x" * 10, timeout=1.0)
+        assert ring.high_water == 10
+        assert ring.stall_events == 0  # fit without waiting
+        ring.read_bytes(10, timeout=1.0)
+        ring.write_bytes(b"y" * 16, timeout=1.0)
+        assert ring.high_water == 16  # monotonic max of occupancy
+
+        # Now force a real stall: the ring is full, a consumer drains it
+        # only after a delay, so the producer must block measurably.
+        drain = threading.Thread(
+            target=lambda: (time.sleep(0.05), ring.read_bytes(16, timeout=2.0))
+        )
+        drain.start()
+        ring.write_bytes(b"z" * 8, timeout=2.0)
+        drain.join(timeout=2.0)
+        assert ring.stall_events == 1
+        assert ring.stall_seconds >= 0.03
+        # A reader never bumps producer counters.
+        ring.read_bytes(8, timeout=1.0)
+        assert ring.stall_events == 1
+
+
+def test_pool_exports_ring_backpressure_into_jobstats(monkeypatch):
+    """A tiny ring + an artificially slow parent drain must register
+    producer stalls, and the exported counters must actually move —
+    without changing the results."""
+    rng = np.random.default_rng(11)
+    datas = [rng.integers(0, 100, 64).astype(np.int64) for _ in range(6)]
+    chunks = [
+        Chunk(id=i, nbytes=d.nbytes, data=d) for i, d in enumerate(datas)
+    ]
+    spec = MapReduceSpec(
+        mapper=ModSquareMapper(9),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(2),
+        kv=KVSpec(KV),
+        max_key=9,
+    )
+    ref = InProcessExecutor().execute(spec, chunks)
+
+    # Slow the *parent's* ring drain only (workers are separate
+    # processes, unaffected by this patch): the single worker races
+    # ahead and must block on its full ring, deterministically.
+    real_read = ShmRing.read_records
+
+    def slow_read(self, nbytes, dtype, timeout=30.0):
+        time.sleep(0.03)
+        return real_read(self, nbytes, dtype, timeout)
+
+    monkeypatch.setattr(ShmRing, "read_records", slow_read)
+    # Capacity fits one chunk's runs (~64 * 8 B) but not two.
+    with SharedMemoryPoolExecutor(workers=1, ring_capacity=600) as pool:
+        got = pool.execute(spec, chunks)
+    assert_results_identical(ref, got)
+    ring_stats = got.stats.ring
+    assert ring_stats is not None
+    assert ring_stats["stall_events"] >= 1
+    assert ring_stats["stall_seconds"] > 0.0
+    assert 0 < ring_stats["high_water_bytes"] <= 600
+    assert ring_stats["queue_fallbacks"] == 0
+    assert [w["worker"] for w in ring_stats["per_worker"]] == [0]
+    assert (
+        ring_stats["per_worker"][0]["stall_events"]
+        == ring_stats["stall_events"]
+    )
 
 
 def test_ring_attach_and_cross_close():
