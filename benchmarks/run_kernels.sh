@@ -5,10 +5,12 @@
 #   benchmarks/run_kernels.sh [output.json] [parallel_output.json]
 #
 # Runs the functional-kernel micro-benchmarks into a pytest-benchmark
-# JSON (default: BENCH_kernels.json at the repo root), then the
-# shared-memory pool executor's scaling sweep (1/2/4/8 workers ×
-# parent/worker reduce × pipeline depth 1/2 over a multi-brick orbit)
-# into BENCH_parallel.json.
+# JSON (default: BENCH_kernels.json at the repo root) — including the
+# macro-grid empty-space raycast bench (accel off/table/grid × macro
+# -cell size × volume sparsity; the grid rows must beat the table row by
+# >=1.5x mean on the sparse volume) — then the shared-memory pool
+# executor's scaling sweep (1/2/4/8 workers × parent/worker reduce ×
+# pipeline depth 1/2 over a multi-brick orbit) into BENCH_parallel.json.
 # Compare kernels against the committed baseline with e.g.:
 #   python - <<'EOF'
 #   import json

@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "rendering: 1 = synchronous, 2 = double-buffered "
                         "(workers map+reduce the next frame while the parent "
                         "stitches the current one)")
+    r.add_argument("--accel", default="grid", choices=["grid", "table", "off"],
+                   help="empty-space skipping: 'grid' carves whole "
+                        "transparent spans per ray via a macro-cell min/max "
+                        "grid (default), 'table' is the per-sample "
+                        "corner-max probe, 'off' disables both; the image "
+                        "is bitwise-identical either way")
+    r.add_argument("--macro-cell-size", type=int, default=8,
+                   help="macro-cell edge length in voxels for --accel grid")
     r.add_argument("--out", default="render.ppm")
 
     s = sub.add_parser("sweep", help="regenerate a paper figure (simulated cluster)")
@@ -109,7 +117,12 @@ def _cmd_render(args) -> int:
         volume=volume,
         cluster=args.gpus,
         tf=tf,
-        render_config=RenderConfig(dt=args.dt, shading=args.shading),
+        render_config=RenderConfig(
+            dt=args.dt,
+            shading=args.shading,
+            accel=args.accel,
+            macro_cell_size=args.macro_cell_size,
+        ),
         executor=args.executor,
         workers=args.workers,
         reduce_mode=args.reduce_mode,

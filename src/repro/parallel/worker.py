@@ -4,7 +4,11 @@ Each worker is the multiprocess stand-in for one of the paper's GPUs.
 Its loop consumes control messages from a per-worker task queue:
 
 ``("arena", ArenaSpec|None)``
-    (Re)attach the published chunk/transfer-function arena.
+    (Re)attach the published chunk/transfer-function arena.  Macro-cell
+    occupancy grids published under ``(GRID_ARENA_KEY, cache key)`` seed
+    the worker's process-local acceleration cache as zero-copy views —
+    the multiprocess analogue of the paper's static per-GPU structures —
+    and are evicted again before an old arena is unmapped.
 ``("frame", bytes)``
     Pickled :class:`FrameContext` parts for the next frame — mapper,
     partitioner, combiner, reducer, KV spec, key bound.  The transfer
@@ -52,10 +56,22 @@ from ..core.job import MapReduceSpec
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
 
-__all__ = ["FrameContext", "map_chunk_to_runs", "worker_main", "TF_ARENA_KEY"]
+__all__ = [
+    "FrameContext",
+    "map_chunk_to_runs",
+    "worker_main",
+    "GRID_ARENA_KEY",
+    "TF_ARENA_KEY",
+]
 
 #: Arena key under which the transfer-function table is published.
 TF_ARENA_KEY = "__tf_table__"
+
+#: Arena key *tag* for macro-cell occupancy grids: the parent publishes
+#: each grid under ``(GRID_ARENA_KEY, <acceleration-cache key>)``, so a
+#: worker can seed its process-local cache mechanically — the second
+#: element *is* the cache key the ray-cast kernel will look up.
+GRID_ARENA_KEY = "__accel_grid__"
 
 #: How long a worker will sit in ring backpressure before giving up.
 #: With ``pipeline_depth > 1`` the parent legitimately stops draining
@@ -207,6 +223,42 @@ def _handle_reduce(
         )
 
 
+def _evict_seeded(seeded: list) -> None:
+    """Drop arena-backed grid views from the local accel cache.
+
+    Must run before the arena they point into is unmapped — on arena
+    swap *and* on worker shutdown — or the views' exported buffers keep
+    the old segment pinned past ``close()``.
+    """
+    if not seeded:
+        return
+    from ..render.accel import shared_cache
+
+    cache = shared_cache()
+    for k in seeded:
+        cache.pop(k)
+    seeded.clear()
+
+
+def _seed_grid_cache(view: ArenaView, seeded: list) -> None:
+    """Install arena-published macro grids into the local accel cache.
+
+    Entries tagged ``(GRID_ARENA_KEY, cache_key)`` are zero-copy views of
+    parent-built grids; putting them under ``cache_key`` means this
+    worker's ray-cast kernel finds them warm on its very first map task
+    and never builds one itself.  ``seeded`` records the keys so the
+    next arena swap can evict the views *before* the old segment is
+    unmapped.
+    """
+    from ..render.accel import shared_cache
+
+    cache = shared_cache()
+    for key in view.spec.keys():
+        if isinstance(key, tuple) and len(key) == 2 and key[0] == GRID_ARENA_KEY:
+            cache.put(key[1], view.array(key))
+            seeded.append(key[1])
+
+
 def worker_main(
     worker_id: int,
     task_queue,
@@ -217,6 +269,7 @@ def worker_main(
     ring = ShmRing.attach(ring_name)
     view: Optional[ArenaView] = None
     ctx: Optional[FrameContext] = None
+    seeded: list = []  # accel-cache keys backed by the current arena
     try:
         while True:
             msg = task_queue.get()
@@ -229,10 +282,15 @@ def worker_main(
                 # arena (e.g. a transfer function bound to its table);
                 # drop it first so the mapping can actually unmap.  A
                 # "frame" message always follows an "arena" message.
+                # Cached grid views pin the old segment the same way, so
+                # evict them before closing.
                 ctx = None
+                _evict_seeded(seeded)
                 if view is not None:
                     view.close()
                 view = ArenaView(spec) if spec is not None else None
+                if view is not None:
+                    _seed_grid_cache(view, seeded)
             elif kind == "frame":
                 ctx = pickle.loads(msg[1])
                 if view is not None:
@@ -259,6 +317,7 @@ def worker_main(
                 )
     finally:
         ctx = None  # release arena-backed views before unmapping
+        _evict_seeded(seeded)
         if view is not None:
             view.close()
         ring.close()

@@ -57,22 +57,37 @@ class RayCastMapper(Mapper):
         # View parameters + the 1D transfer-function texture.
         return 256 + self.tf.nbytes
 
+    def accel_key_for(self, chunk: Chunk) -> Optional[tuple]:
+        """Base acceleration-cache key for one chunk (None when untokened).
+
+        The corner-max table is cached under this key directly; the
+        macro-cell grid under
+        :func:`repro.render.accel.grid_key` derived from it.  The pool
+        executor uses the same derivation to publish grids into its
+        shared-memory arena so workers can seed their caches without
+        rebuilding anything.
+        """
+        if self.accel_token is None or self.tf is None:
+            return None
+        brick = chunk.meta
+        if brick is None:
+            return None
+        # The padded region pins the payload: the same volume can be
+        # bricked into different grids (brick id 0 of a 2-brick grid
+        # is not brick id 0 of a 4-brick grid).
+        return (
+            self.accel_token,
+            self.tf.version,
+            chunk.id,
+            tuple(brick.data_lo),
+            tuple(brick.data_hi),
+        )
+
     def map(self, chunk: Chunk) -> MapOutput:
         brick = chunk.meta
         if brick is None:
             raise ValueError(f"chunk {chunk.id} lacks Brick metadata")
-        accel_key = None
-        if self.accel_token is not None:
-            # The padded region pins the payload: the same volume can be
-            # bricked into different grids (brick id 0 of a 2-brick grid
-            # is not brick id 0 of a 4-brick grid).
-            accel_key = (
-                self.accel_token,
-                self.tf.version,
-                chunk.id,
-                tuple(brick.data_lo),
-                tuple(brick.data_hi),
-            )
+        accel_key = self.accel_key_for(chunk)
         fragments, stats = raycast_brick(
             data=chunk.payload(),
             data_lo=brick.data_lo,

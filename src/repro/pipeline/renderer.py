@@ -16,7 +16,7 @@ function into the library:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -117,6 +117,16 @@ class MapReduceVolumeRenderer:
         orbits).  1 (default) is fully synchronous; 2 double-buffers:
         workers map+reduce frame *k+1* while the parent stitches frame
         *k*.
+    accel, macro_cell_size:
+        Overrides for :attr:`RenderConfig.accel` /
+        :attr:`RenderConfig.macro_cell_size` — the ray caster's
+        empty-space machinery (``"grid"`` macro-cell span skipping, the
+        default; ``"table"`` per-sample corner-max only; ``"off"``).
+        All settings produce bitwise-identical images and counters; the
+        knobs trade acceleration-structure build cost against marching
+        cost.  Macro grids are cached per volume+tf+brick and, with the
+        pool executor, published once into the shared-memory arena so
+        workers never rebuild them across an orbit's frames.
     """
 
     def __init__(
@@ -133,6 +143,8 @@ class MapReduceVolumeRenderer:
         workers: Optional[int] = None,
         reduce_mode: str = "parent",
         pipeline_depth: int = 1,
+        accel: Optional[str] = None,
+        macro_cell_size: Optional[int] = None,
     ):
         if volume is None and volume_shape is None:
             raise ValueError("need a volume or a volume_shape")
@@ -144,6 +156,15 @@ class MapReduceVolumeRenderer:
         )
         self.tf = tf if tf is not None else default_tf()
         self.render_config = render_config if render_config is not None else RenderConfig()
+        if accel is not None or macro_cell_size is not None:
+            # Convenience overrides for the empty-space machinery, so
+            # callers need not rebuild a whole RenderConfig to flip it.
+            overrides = {}
+            if accel is not None:
+                overrides["accel"] = accel
+            if macro_cell_size is not None:
+                overrides["macro_cell_size"] = int(macro_cell_size)
+            self.render_config = replace(self.render_config, **overrides)
         self.job_config = job_config if job_config is not None else JobConfig()
         self.kv = KVSpec(FRAGMENT_DTYPE, key_field="pixel")
         self._partitioner_factory = partitioner_factory or RoundRobinPartitioner

@@ -47,6 +47,37 @@ block:
   is provably exactly zero *before* the gather — a pure win that cannot
   change the image;
 * one batched transfer-function lookup colours the surviving samples;
+
+Macro-cell empty-space grid (``accel="grid"``)
+----------------------------------------------
+The corner-max table still *positions* every owned sample before it can
+discard one.  The macro grid goes coarser: the brick is partitioned into
+``macro_cell_size``³ cells carrying min/max scalar ranges, cells whose
+entire padded range provably maps into the transfer function's leading
+zero-alpha run are classified empty
+(:func:`repro.render.accel.build_macro_grid`), and each ray DDA-walks
+the cell grid once (:func:`_macro_grid_spans`) to carve its owned sample
+interval down to occupied spans **before the blocked march** — skipped
+spans never compute positions, never probe the corner-max table, never
+gather.
+
+Conservative-skip proof obligation: the grid path must be **bitwise
+identical** to ``accel="off"``, counters included.  Three facts carry
+it:  (1) a cell is marked empty only when every sample it can produce —
+under the march's own float32 arithmetic, clamping included — satisfies
+the kernel's exact per-sample filter ``u <= u_thr`` (see
+``build_macro_grid`` for the two safety margins), so carving removes
+only samples every other path also removes before the transmittance
+scan, leaving the scan's operand list — and hence float association —
+unchanged;  (2) the block structure is preserved: spans are intersected
+with the same ``block_size`` windows, so partial accumulator folds and
+block-granular ERT checks happen at the same points with the same
+values;  (3) ``MapStats.n_samples`` counts every *owned* sample of each
+live block before any elision (exactly as the table path always has),
+so the counters cannot see the skip either.  ``accel="table"`` keeps
+the PR-1 behaviour; ``accel="off"`` disables both structures and is the
+conformance oracle.
+
 * front-to-back accumulation along each ray is closed-form: the
   transmittance in front of every sample is a segmented exclusive
   product scan of ``(1 − α)`` scaled by the transmittance carried in
@@ -98,6 +129,14 @@ class RenderConfig:
     ``block_size`` is the number of consecutive owned samples the
     blocked marcher folds per iteration; termination is checked between
     blocks (see the module docstring for the tradeoff).
+
+    ``accel`` selects the empty-space machinery — all three settings are
+    bitwise-identical in output and counters (see the module docstring's
+    proof obligation): ``"grid"`` (default) DDA-walks a
+    ``macro_cell_size``³ macro-cell min/max grid per ray to carve whole
+    transparent spans before the march *and* keeps the corner-max table
+    for the surviving samples; ``"table"`` is the per-sample corner-max
+    probe alone; ``"off"`` disables both (the conformance oracle).
     """
 
     dt: float = 0.5
@@ -107,6 +146,8 @@ class RenderConfig:
     emit_placeholders: bool = False
     shading: bool = False  # Levoy-style gradient Phong shading
     block_size: int = 8
+    accel: str = "grid"
+    macro_cell_size: int = 8
 
     def __post_init__(self):
         if self.dt <= 0:
@@ -117,6 +158,10 @@ class RenderConfig:
             raise ValueError("alpha_eps must be non-negative")
         if self.block_size < 1:
             raise ValueError("block_size must be at least 1")
+        if self.accel not in ("grid", "table", "off"):
+            raise ValueError("accel must be one of 'grid', 'table', 'off'")
+        if self.macro_cell_size < 1:
+            raise ValueError("macro_cell_size must be at least 1")
 
     @property
     def fetches_per_sample(self) -> int:
@@ -299,6 +344,256 @@ def _alpha_zero_threshold(tf: TransferFunction1D) -> float:
     return float(nz[0] - 1)
 
 
+#: Slack (in samples) the span carve leaves on both sides of every
+#: occupied cell interval.  It only has to cover float64 roundoff in the
+#: t → sample-ordinal conversion (orders of magnitude below half a
+#: sample); positional float32-vs-float64 divergence is absorbed by the
+#: classifier's one-voxel support padding instead.  Erring large merely
+#: keeps a boundary sample that the exact per-sample filter re-tests
+#: anyway.
+_SPAN_SLACK = 0.5
+
+_EMPTY_I32 = np.zeros(0, dtype=np.int32)
+
+
+def _macro_grid_spans(
+    occ: np.ndarray,
+    cell_size: int,
+    base_w: np.ndarray,
+    dirs: np.ndarray,
+    t0: np.ndarray,
+    counts: np.ndarray,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Occupied sample spans per ray from one DDA walk of the macro grid.
+
+    ``occ`` is the boolean macro-cell occupancy
+    (:func:`~repro.render.accel.build_macro_grid`); ``base_w`` the
+    lattice-origin offset ``eye − data_lo − ½`` the march itself uses;
+    ``t0``/``counts`` the rays' first-owned-sample t and owned counts.
+
+    Returns a CSR triple ``(row_ptr, j0, j1)``: ray ``i``'s occupied
+    spans are the half-open global sample ordinals ``[j0[k], j1[k])``
+    for ``k in [row_ptr[i], row_ptr[i+1])``, sorted and non-overlapping.
+    Samples outside every span are *provably* dropped by the kernel's
+    exact empty-space filter (the classifier's obligation); everything
+    questionable — cell-boundary samples, rays that pin against the
+    clamped grid edge, walks that exhaust their step budget — errs
+    toward keeping.
+
+    Two traversal strategies produce the same conservative span set (the
+    kernel's exact filter makes any conservative superset bitwise
+    equivalent, so the choice is purely a cost model):
+
+    * **sparse grids** (occupied cells ≲ cells a ray can cross): one
+      vectorized slab test of *all* rays against each occupied cell's
+      box — O(occupied cells · rays);
+    * otherwise a vectorized Amanatides–Woo DDA over the cell-index
+      space — O(cells-crossed · rays), independent of occupancy.
+
+    Both run in float64 over the *clamped* trilinear base coordinate
+    (grid-edge cells extend to infinity on their outer faces), so a
+    sample that clamps onto the payload edge is attributed to the edge
+    cell — the same cell whose padded min/max covers the clamped
+    support.  Cost never depends on ``dt``.
+    """
+    n = len(t0)
+    gx, gy, gz = occ.shape
+    occ_flat = np.ascontiguousarray(occ).ravel()
+    cs = float(cell_size)
+    dtf = float(dt)
+    bw = np.asarray(base_w, dtype=np.float64)
+    t_in = t0.astype(np.float64)
+    cnt = counts.astype(np.int64)
+    t_end = t_in + (cnt - 1) * dtf  # t of each ray's last owned sample
+
+    rows_parts: list = []
+    j0_parts: list = []
+    j1_parts: list = []
+
+    def emit(rows_idx, t_lo, t_hi, j_hi_cap):
+        j0 = np.ceil((t_lo - t_in[rows_idx]) / dtf - _SPAN_SLACK).astype(np.int64)
+        j1 = np.floor((t_hi - t_in[rows_idx]) / dtf + _SPAN_SLACK).astype(np.int64) + 1
+        np.clip(j0, 0, None, out=j0)
+        np.minimum(j1, j_hi_cap, out=j1)
+        ok = j1 > j0
+        if ok.any():
+            rows_parts.append(rows_idx[ok])
+            j0_parts.append(j0[ok])
+            j1_parts.append(j1[ok])
+
+    occ_cells = np.nonzero(occ_flat)[0]
+    max_steps = int(gx + gy + gz + 4)
+    gdims = (gx, gy, gz)
+    if len(occ_cells) <= max_steps:
+        # Sparse path: slab-test every ray against each occupied cell's
+        # box once.  Grid-edge cells extend to infinity on their outer
+        # faces so clamped positions attribute to them.
+        d64 = [dirs[:, a].astype(np.float64) for a in range(3)]
+        with np.errstate(divide="ignore"):
+            inv = [
+                np.where(d64[a] != 0.0, 1.0 / d64[a], np.inf) for a in range(3)
+            ]
+        zero = [d64[a] == 0.0 for a in range(3)]
+        any_zero = [bool(zero[a].any()) for a in range(3)]
+        for fc in occ_cells.tolist():
+            ci = (fc // (gy * gz), (fc // gz) % gy, fc % gz)
+            t_enter, t_exit = t_in, t_end
+            for a in range(3):
+                lo = -np.inf if ci[a] == 0 else ci[a] * cs
+                hi = np.inf if ci[a] == gdims[a] - 1 else (ci[a] + 1) * cs
+                t1 = (lo - bw[a]) * inv[a]
+                t2 = (hi - bw[a]) * inv[a]
+                tl = np.minimum(t1, t2)
+                th = np.maximum(t1, t2)
+                if any_zero[a]:
+                    # Constant-coordinate rays: in the slab forever or
+                    # never (also overwrites any 0·inf NaN above).
+                    inside = (bw[a] >= lo) & (bw[a] < hi)
+                    tl = np.where(zero[a], -np.inf if inside else np.inf, tl)
+                    th = np.where(zero[a], np.inf if inside else -np.inf, th)
+                t_enter = np.maximum(t_enter, tl)
+                t_exit = np.minimum(t_exit, th)
+            er = np.nonzero(t_exit >= t_enter)[0]
+            if len(er):
+                emit(er, t_enter[er], t_exit[er], cnt[er])
+    else:
+        # Per-axis contiguous DDA state (a (n, 3) layout would make
+        # every walk op strided and every update a fancy-index scatter).
+        cell = [None, None, None]
+        tmax = [None, None, None]
+        tdelta = [None, None, None]
+        stepv = [None, None, None]
+        for a, nca in ((0, gx), (1, gy), (2, gz)):
+            da = dirs[:, a].astype(np.float64)
+            pa = bw[a] + t_in * da
+            ca = np.floor(pa / cs).astype(np.int64)
+            np.clip(ca, 0, nca - 1, out=ca)
+            sa = np.sign(da).astype(np.int64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                inva = np.where(da != 0.0, 1.0 / da, np.inf)
+                tma = np.where(
+                    da != 0.0, ((ca + (sa > 0)) * cs - bw[a]) * inva, np.inf
+                )
+            tda = np.where(da != 0.0, cs * np.abs(inva), np.inf)
+            # Init cells clamped from outside the grid can yield a
+            # boundary crossing *behind* the first sample; advance such
+            # a crossing by whole cell strides so the walk's cell always
+            # tracks the clamped base cell of the current position.
+            lag = np.nonzero(tma < t_in)[0]
+            if len(lag):
+                tma[lag] += np.ceil((t_in[lag] - tma[lag]) / tda[lag]) * tda[lag]
+            cell[a], tmax[a], tdelta[a], stepv[a] = ca, tma, tda, sa
+        cx, cy, cz = cell
+        tmx, tmy, tmz = tmax
+        tdx, tdy, tdz = tdelta
+        sx, sy, sz = stepv
+
+        alive = cnt > 0
+        t_cur = t_in.copy()
+        # A straight ray crosses at most gx+gy+gz+2 cells; clamped edge
+        # riders may burn a few phantom steps, covered by the fallback.
+        for _ in range(max_steps):
+            if not alive.any():
+                break
+            tm = np.minimum(np.minimum(tmx, tmy), tmz)
+            flat_cell = (cx * gy + cy) * gz + cz
+            hit = alive & np.take(occ_flat, flat_cell)
+            if hit.any():
+                er = np.nonzero(hit)[0]
+                emit(er, t_cur[er], np.minimum(tm[er], t_end[er]), cnt[er])
+            alive &= tm < t_end
+            if not alive.any():
+                break
+            # Step the min-tmax axis (ties prefer x then y — argmin order).
+            mx = alive & (tmx <= tmy) & (tmx <= tmz)
+            my = alive & ~mx & (tmy <= tmz)
+            mz = alive & ~mx & ~my
+            cx = np.clip(np.where(mx, cx + sx, cx), 0, gx - 1)
+            cy = np.clip(np.where(my, cy + sy, cy), 0, gy - 1)
+            cz = np.clip(np.where(mz, cz + sz, cz), 0, gz - 1)
+            t_cur = np.where(alive, tm, t_cur)
+            tmx = np.where(mx, tmx + tdx, tmx)
+            tmy = np.where(my, tmy + tdy, tmy)
+            tmz = np.where(mz, tmz + tdz, tmz)
+        else:
+            rem = np.nonzero(alive)[0]  # budget exhausted: keep the rest
+            if len(rem):
+                emit(rem, t_cur[rem], t_end[rem], cnt[rem])
+
+    if not rows_parts:
+        return np.zeros(n + 1, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64)
+    row = np.concatenate(rows_parts)
+    j0 = np.concatenate(j0_parts)
+    j1 = np.concatenate(j1_parts)
+    # Merge overlapping/adjacent spans per ray (slack-expanded neighbours
+    # overlap; a sample must enter the flat march list exactly once).
+    # The slab path emits cells in grid order, not per-ray t order, so
+    # sort by (ray, start) rather than trusting emission order.
+    order = np.lexsort((j0, row))
+    row, j0, j1 = row[order], j0[order], j1[order]
+    big = int(cnt.max()) + 2
+    a0 = j0 + row * big
+    running_hi = np.maximum.accumulate(j1 + row * big)
+    first = np.empty(len(row), dtype=bool)
+    first[0] = True
+    np.greater(a0[1:], running_hi[:-1], out=first[1:])
+    starts = np.nonzero(first)[0]
+    seg_last = np.r_[starts[1:], len(row)] - 1
+    m_row = row[starts]
+    m_j0 = j0[starts]
+    m_j1 = running_hi[seg_last] - m_row * big
+    row_ptr = np.searchsorted(m_row, np.arange(n + 1, dtype=np.int64))
+    return row_ptr, m_j0, m_j1
+
+
+def _block_spans_flat(
+    spans: tuple[np.ndarray, np.ndarray, np.ndarray],
+    li: np.ndarray,
+    cnt: np.ndarray,
+    jb: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One block's flat (row, global ordinal) sample list, grid-carved.
+
+    Intersects the alive rays' occupied spans with the block window
+    ``[jb, jb + cnt_row)``.  Rows ascend and ordinals ascend within each
+    row — the same ordering the uncarved construction produces — so all
+    downstream segment handling (scan boundaries, reduceat starts) is
+    oblivious to the carve.
+    """
+    row_ptr, sj0, sj1 = spans
+    s0 = row_ptr[li]
+    lens = row_ptr[li + 1] - s0
+    nsp = int(lens.sum())
+    if nsp == 0:
+        return _EMPTY_I32, _EMPTY_I32
+    L = len(li)
+    srow = np.repeat(np.arange(L, dtype=np.int32), lens)
+    off = np.zeros(L, dtype=np.int64)
+    np.cumsum(lens[:-1], dtype=np.int64, out=off[1:])
+    sidx = (np.arange(nsp, dtype=np.int64) - np.take(off, srow)) + np.take(s0, srow)
+    b0 = np.maximum(np.take(sj0, sidx), jb)
+    b1 = np.minimum(np.take(sj1, sidx), jb + np.take(cnt, srow))
+    ln = b1 - b0
+    keep = ln > 0
+    if not keep.all():
+        srow = srow[keep]
+        b0 = b0[keep]
+        ln = ln[keep]
+    m = int(ln.sum())
+    if m == 0:
+        return _EMPTY_I32, _EMPTY_I32
+    ns = len(ln)
+    rows = np.repeat(srow, ln)
+    off2 = np.zeros(ns, dtype=np.int64)
+    np.cumsum(ln[:-1], dtype=np.int64, out=off2[1:])
+    span_of = np.repeat(np.arange(ns, dtype=np.int64), ln)
+    j_flat = (
+        np.arange(m, dtype=np.int64) - np.take(off2, span_of) + np.take(b0, span_of)
+    ).astype(np.int32)
+    return rows, j_flat
+
+
 def raycast_brick(
     data: np.ndarray,
     data_lo: tuple[int, int, int],
@@ -319,13 +614,17 @@ def raycast_brick(
     is ``[core_lo, core_hi)``; ``volume_shape`` defines the global box
     used for the shared ray parametrisation.
 
-    ``accel_key`` (optional) enables empty-space-table caching: it must
+    ``accel_key`` (optional) enables empty-space caching: it must
     uniquely identify ``(data, tf)`` — the renderer uses
     ``(volume token, brick id, tf version)`` — and lookups go to
     ``accel_cache`` (default: the process-wide
-    :func:`~repro.render.accel.shared_cache`).  The table is a pure
-    function of ``(data, tf)`` and skipping with it provably cannot
-    change the image or the stats, so caching never affects output.
+    :func:`~repro.render.accel.shared_cache`).  The corner-max table is
+    cached under the key itself; the macro-cell occupancy grid under
+    :func:`~repro.render.accel.grid_key` (bricks where no grid can help
+    cache the ``NO_GRID`` sentinel instead, so the negative result is
+    not recomputed every frame).  Both structures are pure functions of
+    ``(data, tf)`` and skipping with them provably cannot change the
+    image or the stats, so caching never affects output.
     """
     stats = MapStats()
     core_lo_w = np.asarray(core_lo, dtype=np.float64)
@@ -406,22 +705,55 @@ def raycast_brick(
     )
     u_thr = _alpha_zero_threshold(tf)
     total_expected = int(counts.sum())
-    # The empty-space table costs O(voxels); build it only when the march
-    # is big enough to amortize it — unless a cached copy is free.
+    # The empty-space structures cost O(voxels); build them only when the
+    # march is big enough to amortize it — unless a cached copy is free.
+    build_worthwhile = total_expected > data.size // 8
     skip_table = None
     # u_thr < 0 means the alpha table has no leading zero run: there is
     # nothing to skip and _empty_space_table would return None.
-    table_possible = np.isfinite(u_thr) and u_thr >= 0 and min(shape) >= 2
+    table_possible = (
+        config.accel != "off"
+        and np.isfinite(u_thr)
+        and u_thr >= 0
+        and min(shape) >= 2
+    )
     cache = None
-    if table_possible and accel_key is not None:
+    if config.accel != "off" and accel_key is not None:
         from .accel import shared_cache
 
         cache = accel_cache if accel_cache is not None else shared_cache()
-        skip_table = cache.get(accel_key)
-    if skip_table is None and table_possible and total_expected > data.size // 8:
-        skip_table = _empty_space_table(data, tf, u_thr)
-        if cache is not None and skip_table is not None:
-            cache.put(accel_key, skip_table)
+    if table_possible:
+        if cache is not None:
+            skip_table = cache.get(accel_key)
+        if skip_table is None and build_worthwhile:
+            skip_table = _empty_space_table(data, tf, u_thr)
+            if cache is not None and skip_table is not None:
+                cache.put(accel_key, skip_table)
+    # Macro-cell occupancy grid: carves whole transparent spans off each
+    # ray's owned interval before the march (bitwise-invisible; see the
+    # module docstring's proof obligation).
+    grid_occ = None
+    if config.accel == "grid" and min(shape) >= 2:
+        from .accel import build_macro_grid, grid_key, is_no_grid
+
+        gkey = (
+            grid_key(accel_key, config.macro_cell_size)
+            if accel_key is not None
+            else None
+        )
+        if cache is not None and gkey is not None:
+            grid_occ = cache.get(gkey)
+        if grid_occ is None and build_worthwhile:
+            grid_occ = build_macro_grid(data, tf, config.macro_cell_size)
+            if cache is not None and gkey is not None:
+                cache.put(gkey, grid_occ)
+        if grid_occ is not None and is_no_grid(grid_occ):
+            grid_occ = None  # cached negative: no grid can help here
+    spans = None
+    if grid_occ is not None:
+        spans = _macro_grid_spans(
+            grid_occ, config.macro_cell_size, base_w, d_c, t0_c, counts, config.dt
+        )
 
     max_cnt = int(counts.max()) if n_act else 0
     jb = 0
@@ -433,12 +765,23 @@ def raycast_brick(
         L = len(li)
         cnt = np.minimum(counts[li] - jb, K)
         m_all = int(cnt.sum())
+        # Every *owned* sample of the block is counted before any
+        # empty-space elision (table or grid) — the counters are part of
+        # the bitwise parity contract across accel modes.
         stats.n_samples += m_all * fetches
-        # Flat (ray, step) list straight from the ownership intervals.
-        rows = np.repeat(np.arange(L, dtype=np.int32), cnt)
-        off = np.zeros(L, dtype=np.int32)
-        np.cumsum(cnt[:-1], dtype=np.int32, out=off[1:])
-        j_flat = (np.arange(m_all, dtype=np.int32) - np.take(off, rows)) + np.int32(jb)
+        if spans is None:
+            # Flat (ray, step) list straight from the ownership intervals.
+            rows = np.repeat(np.arange(L, dtype=np.int32), cnt)
+            off = np.zeros(L, dtype=np.int32)
+            np.cumsum(cnt[:-1], dtype=np.int32, out=off[1:])
+            j_flat = (np.arange(m_all, dtype=np.int32) - np.take(off, rows)) + np.int32(jb)
+        else:
+            # Grid-carved list: only samples inside occupied spans are
+            # positioned at all; rows/ordinals keep the uncarved order.
+            rows, j_flat = _block_spans_flat(spans, li, cnt, jb)
+            if len(rows) == 0:
+                jb += K
+                continue
         t_flat = np.take(t0_c[li], rows) + j_flat * dt
         drow = np.take(d_c[li], rows, axis=0)
         cx = base_w[0] + t_flat * drow[:, 0]
@@ -450,7 +793,7 @@ def raycast_brick(
             # The skip test indexes the table at the exact 2×2×2 support
             # base the trilinear gather uses.
             op = np.nonzero(np.take(skip_table, base))[0]
-            if len(op) != m_all:
+            if len(op) != len(base):
                 base = np.take(base, op)
                 fx = np.take(fx, op)
                 fy = np.take(fy, op)

@@ -171,11 +171,84 @@ def test_cached_table_cannot_change_image_or_stats():
     assert cold.stats.as_dict() == warm.stats.as_dict()
 
 
+def test_cached_grid_cannot_change_image_or_stats():
+    """The macro-grid mirror of the table test: cold vs warm bitwise,
+    with per-brick grid entries actually landing in the cache."""
+    vol = make_dataset("skull", (32, 32, 32))
+    r = MapReduceVolumeRenderer(
+        volume=vol, cluster=2, accel="grid", macro_cell_size=4
+    )
+    cam = orbit_camera(vol.shape, width=96, height=96)
+    shared_cache().clear()
+    cold = r.render(cam, mode="exec")
+    grid_keys = [
+        k for k in shared_cache()._entries
+        if isinstance(k, tuple) and k and k[0] == "grid"
+    ]
+    assert len(grid_keys) == cold.n_bricks  # one grid (or sentinel) per brick
+    hits = shared_cache().hits
+    warm = r.render(cam, mode="exec")
+    assert shared_cache().hits > hits
+    assert np.array_equal(cold.image, warm.image)
+    assert cold.stats.as_dict() == warm.stats.as_dict()
+
+
+def test_invalidate_volume_refreshes_grids_after_inplace_edit():
+    """Grid mirror of the table invalidation test: a stale macro grid
+    wrongly skips the edited (previously empty) corner, and
+    invalidate_volume() recovers bitwise agreement with a cold render."""
+    import copy
+
+    from repro.render.accel import invalidate_volume
+
+    vol = make_dataset("skull", (24,) * 3)
+    cam = orbit_camera(vol.shape, azimuth_deg=40.0, width=64, height=64)
+    cfg = RenderConfig(dt=0.75, accel="grid", macro_cell_size=4)
+
+    r = MapReduceVolumeRenderer(volume=vol, cluster=2, render_config=cfg)
+    before = r.render(cam, mode="exec").image
+    r.render(cam, mode="exec")  # warm the grid cache
+    # In-place edit into a previously empty corner — the region a stale
+    # occupancy grid would (at least partially) wrongly skip.
+    vol.data[:10, :10, :10] = float(vol.data.max())
+    invalidate_volume(vol)
+    fresh = r.render(cam, mode="exec").image
+
+    vol2 = copy.deepcopy(vol)
+    shared_cache().clear()
+    cold = (
+        MapReduceVolumeRenderer(volume=vol2, cluster=2, render_config=cfg)
+        .render(cam, mode="exec")
+        .image
+    )
+    assert not np.array_equal(cold, before)  # the edit is actually visible
+    assert np.array_equal(fresh, cold)
+
+
+def test_cache_put_none_raises():
+    c = AccelCache()
+    with pytest.raises(TypeError):
+        c.put("k", None)
+    assert len(c) == 0
+
+
+def test_cache_pop():
+    c = AccelCache()
+    t = np.ones(8, dtype=bool)
+    c.put("k", t)
+    assert c.pop("k") is t
+    assert c.pop("k") is None  # absent key is fine
+    assert len(c) == 0 and c.nbytes == 0
+
+
 def test_accel_key_with_no_leading_zero_alpha_tf():
     # A transfer function that is opaque from entry 0 has no empty space
-    # to skip (_empty_space_table returns None); the cache wiring must
-    # not choke on it.
+    # to skip: the corner-max table cannot exist (_empty_space_table
+    # returns None, which must never be cached) and the macro grid
+    # caches the NO_GRID sentinel so the negative result is remembered
+    # instead of being re-derived every frame.
     from repro.render import TransferFunction1D
+    from repro.render.accel import is_no_grid
 
     tf = TransferFunction1D(np.full((8, 4), 0.5, np.float32))
     rng = np.random.default_rng(5)
@@ -193,9 +266,15 @@ def test_accel_key_with_no_leading_zero_alpha_tf():
         config=RenderConfig(dt=0.5),
     )
     f1, _ = raycast_brick(**kwargs, accel_key=("k",), accel_cache=cache)
-    assert len(cache) == 0  # nothing cached: there is no skip table
-    f2, _ = raycast_brick(**kwargs)
-    assert np.array_equal(f1, f2)
+    # Exactly one entry: the grid sentinel.  No table, no None.
+    assert len(cache) == 1 and cache.nbytes == 0
+    ((key, entry),) = cache._entries.items()
+    assert key[0] == "grid" and is_no_grid(entry)
+    misses = cache.misses
+    f2, _ = raycast_brick(**kwargs, accel_key=("k",), accel_cache=cache)
+    assert cache.misses == misses  # sentinel hit: nothing re-derived
+    f3, _ = raycast_brick(**kwargs)
+    assert np.array_equal(f1, f2) and np.array_equal(f1, f3)
 
 
 def test_raycast_brick_uses_explicit_cache():
@@ -214,9 +293,11 @@ def test_raycast_brick_uses_explicit_cache():
         config=RenderConfig(dt=0.5),
     )
     f1, s1 = raycast_brick(**kwargs, accel_key=("k",), accel_cache=cache)
-    assert len(cache) == 1  # table built and stored
+    # Table stored under the base key, macro grid (or its sentinel)
+    # under the derived grid key.
+    assert len(cache) == 2
     f2, s2 = raycast_brick(**kwargs, accel_key=("k",), accel_cache=cache)
-    assert cache.hits >= 1
+    assert cache.hits >= 2
     assert np.array_equal(f1, f2)
     assert s1.n_samples == s2.n_samples and s1.n_kept == s2.n_kept
     # No key -> the shared cache is untouched and output is unchanged.

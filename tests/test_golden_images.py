@@ -3,10 +3,11 @@
 Small deterministic rendered fixtures (cameras × transfer functions ×
 brick layouts, float32 arrays in ``tests/golden/*.npz``) pin the exact
 output of the functional pipeline.  Every executor / reduce-mode /
-pipeline-depth combination must reproduce them **bitwise** — the
-concurrency machinery (worker scheduling, ring streaming, worker-side
-reduce placement, frame pipelining) must never leak into the image or
-the deterministic counters.
+pipeline-depth combination — and every empty-space acceleration setting
+(``accel`` off / corner-max table / macro-cell grid) — must reproduce
+them **bitwise**: neither the concurrency machinery (worker scheduling,
+ring streaming, worker-side reduce placement, frame pipelining) nor the
+skip structures may leak into the image or the deterministic counters.
 
 The pipeline is pure NumPy (float32 IEEE ops, stable sorts), so the
 fixtures are reproducible across runs and processes.  If an intentional
@@ -67,8 +68,13 @@ SCENES = {
 }
 
 
-def build_job(name):
-    """Renderer + camera + chunk placement for one golden scene."""
+def build_job(name, accel=None, macro_cell_size=8):
+    """Renderer + camera + chunk placement for one golden scene.
+
+    ``accel`` overrides the empty-space machinery; the fixtures were
+    rendered once and every accel mode must reproduce them bitwise (the
+    macro grid's conservative-skip proof obligation).
+    """
     s = SCENES[name]
     vol = make_dataset(s["dataset"], (s["size"],) * 3)
     cam = orbit_camera(
@@ -78,6 +84,9 @@ def build_job(name):
         width=s["image"],
         height=s["image"],
     )
+    overrides = (
+        {} if accel is None else {"accel": accel, "macro_cell_size": macro_cell_size}
+    )
     r = MapReduceVolumeRenderer(
         volume=vol,
         cluster=s["gpus"],
@@ -86,6 +95,7 @@ def build_job(name):
             dt=s["dt"],
             ert_alpha=s["ert_alpha"],
             emit_placeholders=s["placeholders"],
+            **overrides,
         ),
     )
     chunks = r._chunks(r._grid(s["bricks_per_gpu"]), False)
@@ -143,6 +153,29 @@ def test_inprocess_matches_golden(scene):
     assert_matches_golden(scene, image, result)
 
 
+@pytest.mark.parametrize("accel", ["off", "table", "grid"])
+@pytest.mark.parametrize("scene", sorted(SCENES))
+def test_inprocess_accel_modes_match_golden(scene, accel):
+    """Every empty-space setting reproduces the committed fixtures
+    bitwise — images, per-reducer routing, and counters (n_samples
+    counts owned samples in every mode by contract)."""
+    image, result = run_job(InProcessExecutor(), *build_job(scene, accel=accel))
+    assert_matches_golden(scene, image, result)
+
+
+@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
+def test_pool_grid_accel_matches_golden(reduce_mode):
+    """The grid-accelerated path through the pool executor (arena-shipped
+    grids, worker-seeded caches), in both reduce modes."""
+    job = build_job("skull_default_az40", accel="grid", macro_cell_size=4)
+    with SharedMemoryPoolExecutor(workers=2, reduce_mode=reduce_mode) as pool:
+        image, result = run_job(pool, *job)
+        # second render hits the resident arena + seeded worker caches
+        image2, result2 = run_job(pool, *job)
+    assert_matches_golden("skull_default_az40", image, result)
+    assert_matches_golden("skull_default_az40", image2, result2)
+
+
 @pytest.mark.parametrize("scene", sorted(SCENES))
 def test_pool_worker_reduce_matches_golden(scene):
     with SharedMemoryPoolExecutor(workers=2, reduce_mode="worker") as pool:
@@ -165,6 +198,18 @@ def test_pool_serial_fallback_matches_golden():
 
 
 # -- slow: the full executor × reduce-mode × depth × workers matrix ----------
+@pytest.mark.slow
+@pytest.mark.parametrize("scene", sorted(SCENES))
+@pytest.mark.parametrize("accel", ["off", "grid"])
+@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
+def test_pool_accel_matrix_matches_golden(scene, accel, reduce_mode):
+    """Grid-accelerated vs accel-off through the pool, all scenes."""
+    job = build_job(scene, accel=accel, macro_cell_size=4)
+    with SharedMemoryPoolExecutor(workers=2, reduce_mode=reduce_mode) as pool:
+        image, result = run_job(pool, *job)
+    assert_matches_golden(scene, image, result)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("scene", sorted(SCENES))
 @pytest.mark.parametrize("workers", [1, 2, 4])
