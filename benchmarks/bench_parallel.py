@@ -4,27 +4,33 @@
 Renders a multi-brick orbit end to end (real ray casting, real
 partition/sort/reduce, real images) through
 :class:`~repro.parallel.SharedMemoryPoolExecutor` across a
-``workers × reduce_mode × pipeline_depth`` grid and records sustained
-frame throughput into a JSON report (default: ``BENCH_parallel.json``
-at the repo root).
+``workers × reduce_mode × shuffle_mode × pipeline_depth`` grid and
+records sustained frame throughput into a JSON report (default:
+``BENCH_parallel.json`` at the repo root).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py \
         [--out BENCH_parallel.json] [--workers 1,2,4,8] \
-        [--reduce-modes parent,worker] [--depths 1,2] [--size 48] \
-        [--gpus 8] [--frames 6] [--image 160]
+        [--reduce-modes parent,worker] [--shuffle-modes parent,mesh] \
+        [--depths 1,2] [--size 48] [--gpus 8] [--frames 6] [--image 160]
 
 The report records the machine's usable core count alongside every
 row: speedup over the 1-worker pool is bounded by the cores actually
 available (a 1-core container time-slices all workers and shows ~1×
 regardless of pool size), so read ``speedup_vs_1_worker`` against
 ``cpu_count``.  ``reduce_mode="worker"`` moves Sort+Reduce onto the
-owning workers (the paper's symmetric layout); ``pipeline_depth=2``
-double-buffers frames so workers map+reduce frame *k+1* while the
-parent stitches frame *k* — both need >1 real core to pay off.  The
-in-process executor is measured too, as the no-pool baseline, and
-every pool render is checked bitwise against it.
+owning workers (the paper's symmetric layout); ``shuffle_mode="mesh"``
+exchanges fragment runs worker↔worker over direct shared-memory edge
+rings so the parent never touches run bytes (each mesh row asserts
+``parent_run_bytes == 0`` and records the per-frame mesh backpressure
+counters); ``pipeline_depth=2`` double-buffers frames so workers
+map+reduce frame *k+1* while the parent stitches frame *k* — all three
+need >1 real core to pay off.  The mesh only materializes under
+worker-side reduce (with a parent reduce every run's destination *is*
+the parent), so mesh × parent-reduce combinations are skipped as
+duplicates.  The in-process executor is measured too, as the no-pool
+baseline, and every pool render is checked bitwise against it.
 """
 
 from __future__ import annotations
@@ -72,6 +78,9 @@ def main(argv=None) -> int:
                     help="comma-separated pool sizes to sweep")
     ap.add_argument("--reduce-modes", default="parent,worker",
                     help="comma-separated reduce placements to sweep")
+    ap.add_argument("--shuffle-modes", default="parent,mesh",
+                    help="comma-separated shuffle planes to sweep (mesh "
+                         "rows only materialize under worker-side reduce)")
     ap.add_argument("--depths", default="1,2",
                     help="comma-separated pipeline depths to sweep")
     ap.add_argument("--size", type=int, default=48, help="cubic volume edge")
@@ -82,10 +91,16 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     sweep_workers = [int(w) for w in args.workers.split(",") if w]
     sweep_modes = [m.strip() for m in args.reduce_modes.split(",") if m.strip()]
+    sweep_shuffles = [
+        s.strip() for s in args.shuffle_modes.split(",") if s.strip()
+    ]
     sweep_depths = [int(d) for d in args.depths.split(",") if d]
     for m in sweep_modes:
         if m not in ("parent", "worker"):
             ap.error(f"unknown reduce mode {m!r}")
+    for s in sweep_shuffles:
+        if s not in ("parent", "mesh"):
+            ap.error(f"unknown shuffle mode {s!r}")
 
     vol = make_dataset("skull", (args.size,) * 3)
     cfg = RenderConfig(dt=0.75)
@@ -104,12 +119,19 @@ def main(argv=None) -> int:
           f"for {args.frames} frames, {base_rot.results[0].n_bricks} bricks)")
 
     rows = []
-    fps_one_worker = {}  # (mode, depth) -> 1-worker fps, the scaling anchor
-    for mode, depth, w in itertools.product(
-        sweep_modes, sweep_depths, sweep_workers
+    # (reduce, shuffle, depth) -> 1-worker fps, the scaling anchor
+    fps_one_worker = {}
+    for mode, shuffle, depth, w in itertools.product(
+        sweep_modes, sweep_shuffles, sweep_depths, sweep_workers
     ):
+        if shuffle == "mesh" and mode == "parent":
+            # With a parent-side reduce every run's destination is the
+            # parent; the mesh never materializes and the row would
+            # duplicate the parent-plane measurement.
+            continue
         with make_renderer(
-            executor="pool", workers=w, reduce_mode=mode, pipeline_depth=depth
+            executor="pool", workers=w, reduce_mode=mode,
+            shuffle_mode=shuffle, pipeline_depth=depth,
         ) as r:
             fps, elapsed, rot = orbit_fps(
                 r, args.frames, args.image, keep_images=True
@@ -118,12 +140,25 @@ def main(argv=None) -> int:
         for img_pool, img_base in zip(rot.images, base_rot.images):
             assert np.array_equal(img_pool, img_base), "pool image diverged"
         if w == 1:
-            fps_one_worker[(mode, depth)] = fps
+            fps_one_worker[(mode, shuffle, depth)] = fps
         ring = rot.results[-1].stats.ring or {}
+        if shuffle == "mesh" and mode == "worker":
+            # The control-plane guarantee the mesh exists for: the
+            # parent never touches a run byte — except records too big
+            # for their edge, which take the *designed* queue-fallback
+            # escape hatch (counted); only fallback-free frames must be
+            # parent-clean.
+            if ring.get("queue_fallbacks", 0) == 0:
+                assert ring.get("parent_run_bytes") == 0, (
+                    "mesh shuffle leaked run bytes through the parent "
+                    "without a queue fallback: "
+                    f"{ring.get('parent_run_bytes')}"
+                )
         rows.append(
             {
                 "workers": w,
                 "reduce_mode": mode,
+                "shuffle_mode": ring.get("shuffle_mode", shuffle),
                 "pipeline_depth": depth,
                 "frames": args.frames,
                 "elapsed_s": round(elapsed, 4),
@@ -134,24 +169,34 @@ def main(argv=None) -> int:
                     ring.get("stall_seconds", 0.0), 6
                 ),
                 "ring_high_water_bytes": ring.get("high_water_bytes", 0),
+                "queue_fallbacks_last_frame": ring.get("queue_fallbacks", 0),
+                "parent_run_bytes_last_frame": ring.get("parent_run_bytes", 0),
+                "mesh_bytes_total": ring.get("mesh_bytes_total", 0),
             }
         )
-        print(f"pool workers={w} reduce={mode} depth={depth}: "
-              f"{fps:6.2f} FPS  ({elapsed:.2f}s, "
+        print(f"pool workers={w} reduce={mode} shuffle={shuffle} "
+              f"depth={depth}: {fps:6.2f} FPS  ({elapsed:.2f}s, "
               f"{fps / base_fps:.2f}x vs inprocess)")
     for row in rows:
-        ref = fps_one_worker.get((row["reduce_mode"], row["pipeline_depth"]))
+        ref = fps_one_worker.get(
+            (row["reduce_mode"], row["shuffle_mode"], row["pipeline_depth"])
+        )
         if ref:
             row["speedup_vs_1_worker"] = round(row["fps"] / ref, 3)
 
     report = {
         "benchmark": "shared-memory pool executor scaling sweep "
-                     "(workers x reduce_mode x pipeline_depth)",
+                     "(workers x reduce_mode x shuffle_mode x pipeline_depth)",
         "cpu_count": usable_cores(),
         "note": (
             "speedup is bounded by cpu_count: on a single-core machine all "
             "pool sizes time-slice one core and stay near 1x; worker-side "
-            "reduce and pipeline_depth>1 likewise need real cores to pay off"
+            "reduce, the mesh shuffle plane, and pipeline_depth>1 likewise "
+            "need real cores to pay off.  mesh rows carry "
+            "parent_run_bytes_last_frame=0 by construction (runs travel "
+            "worker-to-worker edge rings, never the parent); mesh x "
+            "parent-reduce combos are skipped as duplicates of the parent "
+            "plane"
         ),
         "params": {
             "dataset": "skull",

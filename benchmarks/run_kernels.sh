@@ -34,5 +34,5 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 echo "wrote $OUT"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python \
     benchmarks/bench_parallel.py --out "$PAR_OUT" --workers 1,2,4,8 \
-    --reduce-modes parent,worker --depths 1,2
+    --reduce-modes parent,worker --shuffle-modes parent,mesh --depths 1,2
 echo "run_kernels.sh: OK"

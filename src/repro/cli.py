@@ -60,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "rendering: 1 = synchronous, 2 = double-buffered "
                         "(workers map+reduce the next frame while the parent "
                         "stitches the current one)")
+    r.add_argument("--shuffle-mode", default="auto",
+                   choices=["auto", "parent", "mesh"],
+                   help="shuffle plane for the pool executor: 'parent' "
+                        "routes fragment runs through the parent, 'mesh' "
+                        "exchanges them worker-to-worker over direct "
+                        "shared-memory edge rings (the parent becomes a "
+                        "pure control plane), 'auto' picks mesh whenever "
+                        "the reduce runs on workers; the image is "
+                        "bitwise-identical either way")
+    r.add_argument("--pin-workers", action="store_true",
+                   help="pin each pool worker to its own core "
+                        "(os.sched_setaffinity) before it allocates its "
+                        "inbound mesh rings; warns and no-ops when "
+                        "affinity is unavailable or cores < workers")
     r.add_argument("--accel", default="grid", choices=["grid", "table", "off"],
                    help="empty-space skipping: 'grid' carves whole "
                         "transparent spans per ray via a macro-cell min/max "
@@ -127,12 +141,15 @@ def _cmd_render(args) -> int:
         workers=args.workers,
         reduce_mode=args.reduce_mode,
         pipeline_depth=args.pipeline_depth,
+        shuffle_mode=args.shuffle_mode,
+        pin_workers=args.pin_workers,
     ) as renderer:
         result = renderer.render(camera, mode="both")
         backend = args.executor
         if backend == "pool":
             backend = (f"pool ({renderer.executor_workers} workers, "
-                       f"{args.reduce_mode} reduce)")
+                       f"{args.reduce_mode} reduce, "
+                       f"{renderer.executor_shuffle_mode} shuffle)")
     write_ppm(args.out, result.image)
     sb = result.outcome.breakdown
     print(f"rendered {args.dataset} {volume.resolution_label()} on "

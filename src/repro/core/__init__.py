@@ -9,7 +9,12 @@ in the simulated scheduler.
 
 from .api import Combiner, Mapper, MapOutput, Partitioner, Reducer
 from .chunk import Chunk
-from .executors import InProcessExecutor, InProcessResult, SimClusterExecutor
+from .executors import (
+    InProcessExecutor,
+    InProcessResult,
+    ShuffleSpec,
+    SimClusterExecutor,
+)
 from .job import JobConfig, MapReduceSpec
 from .keyvalue import PLACEHOLDER, KVSpec, discard_placeholders, validate_pairs
 from .partition import (
@@ -47,6 +52,7 @@ __all__ = [
     "Reducer",
     "RoundRobinPartitioner",
     "SendBuffer",
+    "ShuffleSpec",
     "SimClusterExecutor",
     "SimOutcome",
     "SortResult",

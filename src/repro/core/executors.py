@@ -29,11 +29,77 @@ __all__ = [
     "InProcessResult",
     "InProcessExecutor",
     "PartitionReduceSpec",
+    "ShuffleSpec",
     "SimClusterExecutor",
     "make_map_work",
     "map_chunk_to_runs",
     "merge_partition_runs",
 ]
+
+
+@dataclass(frozen=True)
+class ShuffleSpec:
+    """The shuffle plane's partition-ownership and run-routing contract.
+
+    Every execution path — the serial :class:`InProcessExecutor`, the
+    pool parent, and the pool workers — shares this one object, so the
+    three questions that decide where fragment bytes go always have the
+    same answer everywhere:
+
+    * **bucketing** (:meth:`bucket_runs`): how a chunk's partitioned
+      pairs become one contiguous run per reducer partition (the
+      Partition stage's output layout, streamed over rings and
+      concatenated in chunk order by the Sort stage);
+    * **ownership** (:meth:`owner_of` / :meth:`owned_partitions`):
+      which worker reduces which partition (``partition % n_workers``
+      — static, so results can never depend on scheduling);
+    * the degenerate serial case: ``n_workers=1`` makes worker 0 own
+      everything, which is exactly what :class:`InProcessExecutor`
+      (and the pool's parent-side reduce) execute.
+
+    Keys are disjoint per partition, so ownership placement cannot
+    change reduced outputs — only who computes them.
+    """
+
+    n_reducers: int
+    n_workers: int = 1
+
+    def __post_init__(self):
+        if self.n_reducers < 1:
+            raise ValueError("need at least one reducer partition")
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+
+    def owner_of(self, partition: int) -> int:
+        """The worker that runs Sort+Reduce for ``partition``."""
+        if not 0 <= partition < self.n_reducers:
+            raise ValueError(f"partition {partition} out of range")
+        return partition % self.n_workers
+
+    def owned_partitions(self, worker: int) -> list[int]:
+        """All partitions ``worker`` owns, in ascending order."""
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        return list(range(worker, self.n_reducers, self.n_workers))
+
+    def bucket_runs(
+        self, pairs: np.ndarray, dests: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Split partitioned ``pairs`` into one run per reducer.
+
+        Returns ``(runs, routed)`` where ``runs[r]`` holds the pairs
+        destined for partition ``r`` (in emission order — the stable
+        counting sort downstream relies on it) and ``routed[r]`` its
+        length.  This is the literal Partition-stage bucketing every
+        executor runs, so run layouts are identical by construction.
+        """
+        routed = np.zeros(self.n_reducers, dtype=np.int64)
+        runs: list[np.ndarray] = []
+        for r in range(self.n_reducers):
+            sel = pairs[dests == r]
+            routed[r] = len(sel)
+            runs.append(sel)
+        return runs, routed
 
 
 @dataclass
@@ -57,7 +123,10 @@ def map_chunk_to_runs(
     :class:`~repro.core.job.MapReduceSpec` and the pool workers' frame
     context qualify — the multiprocess executor's bitwise parity with
     :class:`InProcessExecutor` holds *by construction* because every
-    execution path runs this exact function.
+    execution path runs this exact function.  Run bucketing goes
+    through :meth:`ShuffleSpec.bucket_runs`, the same routing contract
+    the shuffle planes use for ownership, so the run layout a reducer
+    receives is identical no matter which transport carried it.
     """
     out = spec.mapper.map(chunk)
     validate_pairs(out.pairs, spec.kv, spec.max_key)
@@ -67,12 +136,7 @@ def map_chunk_to_runs(
         pairs = spec.combiner.combine(pairs)
     kept = len(pairs)
     dests = spec.partitioner.partition(spec.kv.keys(pairs))
-    routed = np.zeros(spec.n_reducers, dtype=np.int64)
-    runs: list[np.ndarray] = []
-    for r in range(spec.n_reducers):
-        sel = pairs[dests == r]
-        routed[r] = len(sel)
-        runs.append(sel)
+    runs, routed = ShuffleSpec(spec.n_reducers).bucket_runs(pairs, dests)
     return runs, emitted, kept, out.work, routed
 
 

@@ -33,6 +33,15 @@ Reduce                 — the parent reassembles each partition's runs in
                        layout — each worker Sort+Reduces the partitions it
                        owns with the *same* merge function and ships back
                        composited pixel spans; the parent just stitches
+GPU↔GPU fragment       :mod:`~repro.parallel.shuffle` — the pluggable
+exchange (the          **shuffle plane**: ``shuffle_mode="mesh"`` moves
+interconnect)          runs worker↔worker over an N×N mesh of SPSC edge
+                       rings (records tagged frame/chunk/partition), so
+                       the parent is a pure control plane and zero run
+                       bytes cross it; ``"parent"`` is the routed legacy
+                       plane; ``"auto"`` picks mesh when workers reduce.
+                       ``pin_workers=True`` pins workers to cores before
+                       they allocate their inbound edges (NUMA locality)
 async overlap (§7)     ``pipeline_depth>1``: ``submit``/``collect`` keep
                        frames in flight so workers map+reduce frame *k+1*
                        while the parent assembles/stitches frame *k* (and
@@ -52,24 +61,40 @@ without processes, for tests and platforms lacking POSIX shared memory.
 from .merge import merge_partition_runs, split_runs
 from .pool import (
     PendingFrame,
+    PoolConfig,
     SharedMemoryPoolExecutor,
     default_pool_workers,
     usable_cores,
 )
 from .ring import RingTimeout, ShmRing
 from .shm import ArenaSpec, ArenaView, ShmArena, shm_segment_exists
+from .shuffle import (
+    DEFAULT_RING_WRITE_TIMEOUT,
+    ENV_RING_WRITE_TIMEOUT,
+    ENV_SHUFFLE_MODE,
+    MeshShuffle,
+    ParentRoutedShuffle,
+    WorkerMesh,
+)
 from .worker import FrameContext, map_chunk_to_runs
 
 __all__ = [
     "ArenaSpec",
     "ArenaView",
+    "DEFAULT_RING_WRITE_TIMEOUT",
+    "ENV_RING_WRITE_TIMEOUT",
+    "ENV_SHUFFLE_MODE",
     "FrameContext",
+    "MeshShuffle",
+    "ParentRoutedShuffle",
     "PendingFrame",
+    "PoolConfig",
     "default_pool_workers",
     "RingTimeout",
     "SharedMemoryPoolExecutor",
     "ShmArena",
     "ShmRing",
+    "WorkerMesh",
     "map_chunk_to_runs",
     "merge_partition_runs",
     "shm_segment_exists",

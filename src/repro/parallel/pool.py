@@ -14,12 +14,35 @@ Stage placement (``reduce_mode``):
 * ``"parent"`` — workers run Map + Partition, the parent runs Sort +
   Reduce (the PR-2 layout).
 * ``"worker"`` — the paper's full symmetry: each worker also runs Sort
-  + Reduce for the reducer partitions it *owns* (``partition %
-  workers``), executing the literal
+  + Reduce for the reducer partitions it *owns* (the static
+  :class:`~repro.core.executors.ShuffleSpec` ownership contract,
+  ``partition % workers``), executing the literal
   :func:`~repro.core.executors.merge_partition_runs` over chunk-ordered
   runs and shipping back composited per-partition ``(keys, values)``
   spans instead of raw fragments.  The parent becomes a pure stitcher.
   Keys are disjoint per partition, so placement cannot change results.
+
+Shuffle plane (``shuffle_mode``, see :mod:`repro.parallel.shuffle`):
+
+* ``"parent"`` — :class:`~repro.parallel.shuffle.ParentRoutedShuffle`:
+  run bytes go worker → uplink ring → parent (→ task queue → owning
+  worker under worker-side reduce).  The parent is on the data path.
+* ``"mesh"`` — :class:`~repro.parallel.shuffle.MeshShuffle`: an N×N
+  mesh of SPSC shared-memory edge rings; each mapper writes a
+  partition's runs *directly* into the owning reducer worker's inbound
+  edge, tagged ``(frame, chunk, partition)``, the way the paper's GPUs
+  exchange fragments over the interconnect.  The parent degrades to a
+  pure **control plane** — publish, seal, stitch, teardown — and never
+  touches a run byte (``JobStats.ring["parent_run_bytes"] == 0``).
+  Materializes only under ``reduce_mode="worker"``; with a parent-side
+  reduce every run's destination *is* the parent, so the uplink rings
+  already are the direct path.
+* ``"auto"`` (default) — ``$REPRO_SHUFFLE_MODE`` if set, else mesh
+  exactly when the reduce runs on workers.
+
+Outputs are bitwise-identical across shuffle modes × reduce modes ×
+pipeline depths *by construction*: both planes deliver the same
+chunk-ordered, tag-restored runs into the same literal merge function.
 
 Frame pipelining (``pipeline_depth``):
 
@@ -36,7 +59,9 @@ Frame pipelining (``pipeline_depth``):
   ``pipeline_depth=1`` (default) degenerates to fully synchronous
   per-frame execution.  Results are bitwise-independent of the depth:
   runs are merged in chunk order and reduced outputs are assembled in
-  partition order, never in completion order.
+  partition order, never in completion order.  Mesh records carry
+  their frame seq, so pipelined frames can interleave on the wire
+  without ever interleaving in a reduce (per-frame watermarks).
 
 Data movement:
 
@@ -47,20 +72,21 @@ Data movement:
   ids/sizes)`` and republished only when that changes, so an orbit's
   frames upload the volume exactly once — the paper's resident-brick
   regime.
-* **Uplink** (fragments to parent): each worker streams its bucketed
-  fragment runs through a private shared-memory ring buffer
-  (:mod:`repro.parallel.ring`); in parent-reduce mode only counters
-  cross the pickling queues.  Chunks whose output exceeds the ring
-  capacity fall back to the queue instead of deadlocking.  Each ring
-  exports backpressure counters (producer stall time/events,
-  high-water mark) that the executor aggregates into ``JobStats.ring``.
-* **Shuffle** (worker-reduce mode): the parent routes each partition's
-  chunk-ordered runs to its owning worker over the task queues
-  (pickled), and reduced spans come back the same way — the reduce
-  *compute* parallelizes, but fragment bytes cross processes twice
-  more than in parent mode.  Spans are small post-reduce, yet
-  fragment-heavy frames pay the pickle on the way out; cutting the
-  parent out with direct worker↔worker rings is the ROADMAP follow-on.
+* **Uplink** (fragments to parent, parent plane only): each worker
+  streams its bucketed fragment runs through a private shared-memory
+  ring buffer (:mod:`repro.parallel.ring`); only counters cross the
+  pickling queues.  Chunks whose output exceeds the ring capacity fall
+  back to the queue instead of deadlocking.
+* **Shuffle** (worker-reduce mode): owned by the shuffle plane — see
+  above.  Every plane exports backpressure counters (producer stall
+  time/events, high-water marks, queue fallbacks, parent-touched run
+  bytes) into ``JobStats.ring``.
+
+NUMA/core pinning (``pin_workers=True``): each worker is pinned to a
+distinct usable core before it allocates its inbound mesh edges, so
+one-worker-per-GPU placement maps onto real topology and edge pages
+are first-touched locally.  No-op with a warning when affinity is
+unavailable or there are fewer cores than workers.
 
 ``serial=True`` executes the identical worker code path in-process with
 no processes or shared memory — the deterministic fallback used by the
@@ -73,7 +99,10 @@ import multiprocessing as mp
 import os
 import pickle
 import queue as queue_mod
+import uuid
+import warnings
 import weakref
+from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -88,19 +117,24 @@ from ..core.executors import (
 from ..core.job import JobConfig, MapReduceSpec
 from ..core.scheduler import MapWork
 from ..core.stats import JobStats
-from .merge import split_runs
 from .ring import ShmRing
 from .shm import ShmArena
+from .shuffle import (
+    MeshShuffle,
+    ParentRoutedShuffle,
+    PoolConfig,
+    mesh_edge_name,
+    mesh_fd_headroom,
+)
 from .worker import GRID_ARENA_KEY, TF_ARENA_KEY, FrameContext, worker_main
 
 __all__ = [
     "PendingFrame",
+    "PoolConfig",
     "SharedMemoryPoolExecutor",
     "default_pool_workers",
     "usable_cores",
 ]
-
-_DEFAULT_RING_CAPACITY = 8 << 20  # 8 MiB of fragments per worker
 
 
 def usable_cores() -> int:
@@ -118,7 +152,12 @@ def default_pool_workers(n_gpus: int) -> int:
 
 
 def _cleanup(state: dict) -> None:
-    """Finalizer shared by close() and GC: tear down processes and shm."""
+    """Finalizer shared by close() and GC: tear down processes and shm.
+
+    Mesh edge rings were *created* by workers but are *owned* (unlink
+    duty) here: closing them after the processes are gone guarantees no
+    segment outlives the pool even when a worker died mid-shuffle.
+    """
     procs = state.pop("procs", [])
     task_queues = state.pop("task_queues", [])
     for q in task_queues:
@@ -128,11 +167,29 @@ def _cleanup(state: dict) -> None:
             pass
     for p in procs:
         p.join(timeout=5.0)
-        if p.is_alive():  # pragma: no cover - stuck worker
+        if p.is_alive():  # stuck worker (e.g. blocked on a wedged edge)
             p.terminate()
             p.join(timeout=1.0)
     for ring in state.pop("rings", []):
         ring.close()
+    for ring in state.pop("mesh_edges", {}).values():
+        ring.close()  # attached with owner=True: close() unlinks
+    # Defensive sweep: edge names are deterministic (pool token + edge
+    # coordinates) and recorded *before* forking, so even a worker that
+    # died mid-handshake — before reporting anything — cannot leak the
+    # segments it had already created.
+    from multiprocessing import shared_memory
+
+    for name in state.pop("mesh_edge_names", []):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue  # never created, or already unlinked
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlink race
+            pass
     arena = state.pop("arena", None)
     if arena is not None:
         arena.close()
@@ -161,6 +218,7 @@ class PendingFrame:
         "routed_per_chunk",
         "map_received",
         "queue_fallbacks",
+        "parent_run_bytes",
         "sealed",
         "outputs",
         "pairs_per_reducer",
@@ -189,6 +247,7 @@ class PendingFrame:
         self.routed_per_chunk: list = [None] * n
         self.map_received = 0
         self.queue_fallbacks = 0
+        self.parent_run_bytes = 0  # run bytes that crossed the parent
         self.sealed = False
         self.outputs: list = [None] * spec.n_reducers
         self.pairs_per_reducer = np.zeros(spec.n_reducers, dtype=np.int64)
@@ -213,7 +272,8 @@ class SharedMemoryPoolExecutor:
         :class:`~repro.core.job.JobConfig` execution knobs (kept for
         surface parity with the other executors).
     ring_capacity:
-        Per-worker fragment ring size in bytes.
+        Per-worker uplink fragment ring size in bytes (overrides
+        ``pool_config.ring_capacity``).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
     serial:
@@ -229,34 +289,99 @@ class SharedMemoryPoolExecutor:
         Max frames in flight for :meth:`submit`/:meth:`collect`; 1
         means fully synchronous.  ``execute`` is unaffected by values
         > 1 unless frames are also submitted asynchronously.
+    shuffle_mode:
+        ``"parent"``, ``"mesh"``, or ``"auto"`` (default) — which
+        shuffle plane moves fragment runs between processes; see the
+        module docstring.  Bitwise-identical output either way.
+    pin_workers:
+        Opt-in NUMA/core pinning (see module docstring).
+    ring_write_timeout:
+        Seconds a blocked ring/edge write may wait before the pool is
+        declared wedged and torn down; ``None`` reads
+        ``$REPRO_RING_WRITE_TIMEOUT`` (default 300).
+    mesh_edge_capacity:
+        Per-edge mesh ring bytes (default ``ring_capacity // workers``,
+        floor 64 KiB).
+    pool_config:
+        A :class:`~repro.parallel.shuffle.PoolConfig` supplying the
+        transport defaults; the explicit keyword arguments above
+        override its fields.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         config: Optional[JobConfig] = None,
-        ring_capacity: int = _DEFAULT_RING_CAPACITY,
+        ring_capacity: Optional[int] = None,
         start_method: Optional[str] = None,
         serial: bool = False,
         reduce_mode: str = "parent",
         pipeline_depth: int = 1,
+        shuffle_mode: Optional[str] = None,
+        pin_workers: Optional[bool] = None,
+        ring_write_timeout: Optional[float] = None,
+        mesh_edge_capacity: Optional[int] = None,
+        pool_config: Optional[PoolConfig] = None,
     ):
         if workers is None:
             workers = usable_cores()
         if workers < 1:
             raise ValueError("need at least one worker")
-        if ring_capacity < 1:
-            raise ValueError("ring capacity must be positive")
         if reduce_mode not in ("parent", "worker"):
             raise ValueError(f"unknown reduce_mode {reduce_mode!r}")
         if pipeline_depth < 1:
             raise ValueError("pipeline depth must be at least 1")
+        base = pool_config if pool_config is not None else PoolConfig()
+        overrides = {
+            k: v
+            for k, v in {
+                "ring_capacity": ring_capacity,
+                "shuffle_mode": shuffle_mode,
+                "pin_workers": pin_workers,
+                "ring_write_timeout": ring_write_timeout,
+                "mesh_edge_capacity": mesh_edge_capacity,
+            }.items()
+            if v is not None
+        }
+        self.pool_config = replace(base, **overrides)  # revalidates knobs
         self.workers = int(workers)
         self.config = config if config is not None else JobConfig()
-        self.ring_capacity = int(ring_capacity)
         self.serial = bool(serial)
         self.reduce_mode = reduce_mode
         self.pipeline_depth = int(pipeline_depth)
+        # Resolve the transport once, at construction, so a later env
+        # change cannot flip a live pool's plane mid-orbit.
+        self.ring_capacity = self.pool_config.ring_capacity
+        self.shuffle_mode = self.pool_config.resolved_shuffle_mode(reduce_mode)
+        if self.mesh_active:  # serial pools open zero edge fds
+            # The parent attaches all N(N-1) edges; on many-core hosts
+            # that can blow through the fd soft limit mid-handshake.
+            # An implicit (auto) mesh quietly degrades to the parent
+            # plane — bitwise-identical, just slower — while an
+            # explicit request fails fast with a fix instead of a
+            # confusing EMFILE from deep inside the handshake.
+            fits, needed, soft = mesh_fd_headroom(self.workers)
+            if not fits:
+                if self.pool_config.shuffle_mode_is_explicit():
+                    raise ValueError(
+                        f"shuffle_mode='mesh' with {self.workers} workers "
+                        f"needs ~{needed} file descriptors in the parent "
+                        f"but the soft RLIMIT_NOFILE is {soft}; raise the "
+                        "limit (ulimit -n) or reduce workers"
+                    )
+                warnings.warn(
+                    f"auto shuffle: using the parent-routed plane — a "
+                    f"{self.workers}-worker mesh needs ~{needed} file "
+                    f"descriptors but the soft RLIMIT_NOFILE is {soft}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.shuffle_mode = "parent"
+        self.ring_write_timeout = self.pool_config.resolved_ring_write_timeout()
+        self.mesh_edge_capacity = self.pool_config.resolved_edge_capacity(
+            self.workers
+        )
+        self.pin_workers = bool(self.pool_config.pin_workers)
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -267,7 +392,7 @@ class SharedMemoryPoolExecutor:
         self._result_queue = None
         self._seq = 0
         self._pending: dict[int, PendingFrame] = {}  # insertion-ordered
-        self._ring_base: list[dict] = []
+        self._plane = None
         self._finalizer = weakref.finalize(self, _cleanup, self._state)
 
     # -- lifecycle ---------------------------------------------------------
@@ -275,19 +400,122 @@ class SharedMemoryPoolExecutor:
     def running(self) -> bool:
         return bool(self._state.get("procs"))
 
+    @property
+    def mesh_active(self) -> bool:
+        """Whether the worker↔worker mesh data plane materializes.
+
+        The mesh only exists when workers reduce: with a parent-side
+        reduce every run's destination is the parent, so the uplink
+        rings already are the direct path and ``shuffle_mode="mesh"``
+        degenerates to the parent-routed plane (bitwise-identically).
+        A ``serial=True`` pool runs everything in-process — no
+        processes, no transport of any kind — so no plane materializes
+        there either.
+        """
+        return (
+            self.shuffle_mode == "mesh"
+            and self.reduce_mode == "worker"
+            and not self.serial
+        )
+
+    @property
+    def effective_shuffle_mode(self) -> str:
+        """The plane that actually carries run bytes: ``"mesh"`` only
+        when the mesh materializes (see :attr:`mesh_active`), else
+        ``"parent"`` — always agrees with what
+        ``JobStats.ring["shuffle_mode"]`` reports."""
+        return "mesh" if self.mesh_active else "parent"
+
+    def _worker_pins(self) -> list:
+        """Per-worker core assignment for ``pin_workers`` (None = unpinned).
+
+        Distinct cores, taken from this process's own affinity mask so
+        a pool nested under an external pinning regime stays inside it.
+        """
+        if not self.pin_workers:
+            return [None] * self.workers
+        if not hasattr(os, "sched_setaffinity"):  # pragma: no cover
+            warnings.warn(
+                "pin_workers=True ignored: CPU affinity is unavailable "
+                "on this platform",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [None] * self.workers
+        cores = sorted(os.sched_getaffinity(0))
+        if len(cores) < self.workers:
+            warnings.warn(
+                f"pin_workers=True ignored: {len(cores)} usable core(s) "
+                f"for {self.workers} workers",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [None] * self.workers
+        return cores[: self.workers]
+
     def _ensure_started(self) -> None:
         if self.running:
             return
-        rings = [
-            ShmRing.create(self.ring_capacity) for _ in range(self.workers)
-        ]
+        # The whole fork tree must share ONE resource tracker: segment
+        # bookkeeping pairs a register in one process with an unregister
+        # in another (worker-created mesh edges are unlinked by whoever
+        # gets there first — see shm.py's tracker note).  Children only
+        # inherit a tracker that is already running, and on the mesh
+        # plane the parent may fork before creating any segment of its
+        # own, so start it explicitly or every process lazily spawns its
+        # own tracker and each warns about phantom "leaks" at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker is an optimization
+            pass
+        pins = self._worker_pins()
+        mesh_active = self.mesh_active
+        # Uplink rings exist only on the parent-routed plane; on the
+        # mesh every run byte travels worker<->worker edges, so the
+        # uplinks would be N dead full-capacity segments.
+        rings = (
+            []
+            if mesh_active
+            else [
+                ShmRing.create(self.ring_capacity)
+                for _ in range(self.workers)
+            ]
+        )
         task_queues = [self._ctx.Queue() for _ in range(self.workers)]
         self._result_queue = self._ctx.Queue()
+        mesh_token = None
+        if mesh_active:
+            # Deterministic edge names, recorded before any worker
+            # exists: teardown can unlink every edge a worker may have
+            # created even if it dies before the handshake completes.
+            mesh_token = uuid.uuid4().hex[:12]
+            self._state["mesh_edge_names"] = [
+                mesh_edge_name(mesh_token, i, j)
+                for i in range(self.workers)
+                for j in range(self.workers)
+                if i != j
+            ]
         procs = []
         for wi in range(self.workers):
+            cfg = {
+                "pin_cpu": pins[wi],
+                "write_timeout": self.ring_write_timeout,
+                "mesh_active": mesh_active,
+                "n_workers": self.workers,
+                "edge_capacity": self.mesh_edge_capacity,
+                "mesh_token": mesh_token,
+            }
             p = self._ctx.Process(
                 target=worker_main,
-                args=(wi, task_queues[wi], self._result_queue, rings[wi].name),
+                args=(
+                    wi,
+                    task_queues[wi],
+                    self._result_queue,
+                    rings[wi].name if not mesh_active else None,
+                    cfg,
+                ),
                 daemon=True,
                 name=f"repro-pool-{wi}",
             )
@@ -296,7 +524,12 @@ class SharedMemoryPoolExecutor:
         self._state.update(
             procs=procs, task_queues=task_queues, rings=rings
         )
-        self._ring_base = [ring.counters() for ring in rings]
+        # The plane owns the data path; it finishes its own transport
+        # bring-up (the mesh edge handshake) before any frame flows.
+        self._plane = (
+            MeshShuffle(self) if mesh_active else ParentRoutedShuffle(self)
+        )
+        self._plane.start()
 
     def close(self) -> None:
         """Shut the pool down and release every shared-memory segment.
@@ -308,7 +541,7 @@ class SharedMemoryPoolExecutor:
         self._arena_fingerprint = None
         self._result_queue = None
         self._pending.clear()
-        self._ring_base = []
+        self._plane = None
 
     def __enter__(self) -> "SharedMemoryPoolExecutor":
         return self
@@ -386,10 +619,16 @@ class SharedMemoryPoolExecutor:
         self._state["arena"] = arena  # they process the new-arena message
         self._arena_fingerprint = sig
 
-    def _frame_payload(self, spec: MapReduceSpec) -> bytes:
-        """Pickle the frame context, with the TF table left in the arena."""
+    def _frame_payload(self, spec: MapReduceSpec, n_chunks: int) -> bytes:
+        """Pickle the frame context, with the TF table left in the arena.
+
+        ``n_chunks`` rides along so mesh reducers know each frame's
+        completion watermark without another control message.
+        """
         ctx = FrameContext.from_spec(
-            spec, include_reducer=self.reduce_mode == "worker"
+            spec,
+            include_reducer=self.reduce_mode == "worker",
+            n_chunks=n_chunks,
         )
         tf = getattr(spec.mapper, "tf", None)
         if tf is not None and getattr(tf, "version", None) is not None:
@@ -434,14 +673,14 @@ class SharedMemoryPoolExecutor:
         ids = [c.id for c in chunks]
         if len(set(ids)) != len(ids):
             raise ValueError("chunk ids must be unique for the pool executor")
-        self._ensure_started()
         try:
+            self._ensure_started()
             for frame in list(self._pending.values()):
                 self._seal(frame)
             while len(self._pending) >= self.pipeline_depth:
                 self._collect_oldest()
             self._publish(spec, chunks)
-            payload = self._frame_payload(spec)
+            payload = self._frame_payload(spec, len(chunks))
             for q in self._state["task_queues"]:
                 q.put(("frame", payload))
             self._seq += 1
@@ -514,37 +753,16 @@ class SharedMemoryPoolExecutor:
         while frame.map_received < frame.n:
             self._pump()
         if self.reduce_mode == "worker":
-            self._dispatch_reduce(frame)
+            # Control-plane handoff to the shuffle plane: parent-routed
+            # ships the runs it buffered; mesh only announces ownership
+            # (the runs are already in the owners' inbound edges).
+            self._plane.dispatch_reduce(frame)
         frame.sealed = True
 
-    def _dispatch_reduce(self, frame: PendingFrame) -> None:
-        """Ship each worker the chunk-ordered runs of its owned partitions.
-
-        Ownership is ``partition % workers`` — static, so results never
-        depend on scheduling.  The payload is parent-owned memory (ring
-        copies / inline arrays), never arena views, so a later arena
-        republish cannot invalidate it.
-        """
-        n_red = frame.spec.n_reducers
-        for wi in range(self.workers):
-            owned = list(range(wi, n_red, self.workers))
-            if not owned:
-                continue
-            runs_per_chunk = [
-                [frame.runs_per_chunk[ci][r] for r in owned]
-                for ci in range(frame.n)
-            ]
-            self._state["task_queues"][wi].put(
-                ("reduce", frame.seq, owned, runs_per_chunk)
-            )
-        # The parent no longer needs the raw runs: free them eagerly so a
-        # deep pipeline holds at most one frame's fragments at a time.
-        frame.runs_per_chunk = [None] * frame.n
-
-    def _pump(self, timeout: float = 1.0) -> None:
-        """Receive and route one worker message (or poll for dead workers)."""
+    def _recv(self, timeout: float = 1.0):
+        """One result-queue message, or None after a liveness check."""
         try:
-            msg = self._result_queue.get(timeout=timeout)
+            return self._result_queue.get(timeout=timeout)
         except queue_mod.Empty:
             procs = self._state.get("procs", [])
             dead = [p.name for p in procs if not p.is_alive()]
@@ -552,6 +770,12 @@ class SharedMemoryPoolExecutor:
                 raise RuntimeError(
                     f"pool worker(s) died during execute: {dead}"
                 )
+            return None
+
+    def _pump(self, timeout: float = 1.0) -> None:
+        """Receive and route one worker message (or poll for dead workers)."""
+        msg = self._recv(timeout=timeout)
+        if msg is None:
             return
         kind = msg[0]
         if kind == "error":
@@ -562,25 +786,19 @@ class SharedMemoryPoolExecutor:
             )
         if kind == "done":
             (_, wi, seq, ci, emitted, kept, work, routed, ring_nbytes,
-             inline, fallback) = msg
+             inline, fallbacks) = msg
             frame = self._pending[seq]
-            if inline is not None:
-                pairs = inline
-            else:
-                # Ring bytes are consumed immediately, in per-worker
-                # completion-message order (the ring is FIFO), even when
-                # the message belongs to a newer frame than the one being
-                # collected — frames only reorder at the *result* level.
-                pairs = self._state["rings"][wi].read_records(
-                    ring_nbytes, frame.spec.kv.dtype
-                )
-            frame.runs_per_chunk[ci] = split_runs(pairs, routed)
+            self._plane.on_map_done(frame, wi, ci, routed, ring_nbytes, inline)
             frame.emitted_per_chunk[ci] = emitted
             frame.kept_per_chunk[ci] = kept
             frame.work_per_chunk[ci] = work
             frame.routed_per_chunk[ci] = np.asarray(routed, dtype=np.int64)
             frame.map_received += 1
-            frame.queue_fallbacks += bool(fallback)
+            frame.queue_fallbacks += int(fallbacks)
+        elif kind == "mesh_fallback":
+            # An oversized mesh record taking the control-plane escape
+            # hatch; the plane relays it to its owner (and counts it).
+            self._plane.on_fallback(self._pending[msg[2]], msg)
         elif kind == "reduced":
             _, wi, seq, owned, outputs, pairs_per_reducer = msg
             frame = self._pending[seq]
@@ -590,35 +808,6 @@ class SharedMemoryPoolExecutor:
             frame.reduced_received += len(owned)
         else:  # pragma: no cover - protocol violation
             raise RuntimeError(f"unexpected pool message {kind!r}")
-
-    def _ring_stats(self, frame: PendingFrame) -> dict:
-        """Per-frame backpressure export: producer stall deltas since the
-        previous collect, absolute high-water marks, queue fallbacks."""
-        per_worker = []
-        for wi, ring in enumerate(self._state.get("rings", [])):
-            now = ring.counters()
-            base = self._ring_base[wi]
-            per_worker.append(
-                {
-                    "worker": wi,
-                    "stall_seconds": now["stall_seconds"]
-                    - base["stall_seconds"],
-                    "stall_events": now["stall_events"]
-                    - base["stall_events"],
-                    "high_water_bytes": now["high_water_bytes"],
-                }
-            )
-            self._ring_base[wi] = now
-        return {
-            "stall_seconds": sum(w["stall_seconds"] for w in per_worker),
-            "stall_events": sum(w["stall_events"] for w in per_worker),
-            "high_water_bytes": max(
-                (w["high_water_bytes"] for w in per_worker), default=0
-            ),
-            "queue_fallbacks": frame.queue_fallbacks,
-            "ring_capacity": self.ring_capacity,
-            "per_worker": per_worker,
-        }
 
     def _collect_oldest(self) -> None:
         """Complete the oldest in-flight frame and cache its result."""
@@ -654,7 +843,7 @@ class SharedMemoryPoolExecutor:
                     frame.routed_per_chunk[ci],
                 )
             )
-        stats.ring = self._ring_stats(frame)
+        stats.ring = self._plane.frame_stats(frame)
         frame.result = InProcessResult(
             outputs=outputs,
             stats=stats,

@@ -85,14 +85,22 @@ class ShmRing:
 
     # -- construction ------------------------------------------------------
     @classmethod
-    def create(cls, capacity: int, record_size: int = 1) -> "ShmRing":
-        """Allocate a fresh ring (parent side; owns the segment name)."""
+    def create(
+        cls, capacity: int, record_size: int = 1, name: Optional[str] = None
+    ) -> "ShmRing":
+        """Allocate a fresh ring (creator side; owns the segment name).
+
+        ``name`` pins the segment name instead of letting the OS pick
+        one — the mesh shuffle plane uses deterministic per-edge names
+        so the parent can unlink every edge even when the creating
+        worker died before reporting anything.
+        """
         if capacity < 1:
             raise ValueError("ring capacity must be positive")
         if record_size < 1:
             raise ValueError("record size must be positive")
         shm = shared_memory.SharedMemory(
-            create=True, size=_HEADER_BYTES + capacity
+            create=True, size=_HEADER_BYTES + capacity, name=name
         )
         header = np.frombuffer(shm.buf, dtype=np.uint64, count=_HEADER_WORDS)
         header[:] = 0
@@ -102,9 +110,18 @@ class ShmRing:
         return cls(shm, owner=True)
 
     @classmethod
-    def attach(cls, name: str) -> "ShmRing":
-        """Attach to an existing ring (worker side; never unlinks)."""
-        return cls(shared_memory.SharedMemory(name=name), owner=False)
+    def attach(cls, name: str, owner: bool = False) -> "ShmRing":
+        """Attach to an existing ring.
+
+        ``owner=False`` (the default, worker side) never unlinks.
+        ``owner=True`` adopts unlink responsibility on :meth:`close` —
+        the mesh shuffle plane uses this: each *worker* creates its
+        inbound edge rings (after CPU pinning, so first-touch lands on
+        the right node) but the *parent* owns teardown, which keeps the
+        no-leaked-segments guarantee even when a worker dies without
+        cleaning up.  Double unlink is harmless (guarded in close).
+        """
+        return cls(shared_memory.SharedMemory(name=name), owner=owner)
 
     @property
     def name(self) -> str:
@@ -118,6 +135,12 @@ class ShmRing:
     @property
     def used(self) -> int:
         return int(self._header[_IDX_WRITE]) - int(self._header[_IDX_READ])
+
+    @property
+    def written(self) -> int:
+        """Total bytes ever published (the monotonic write cursor) —
+        how much traffic this ring has carried since creation."""
+        return int(self._header[_IDX_WRITE])
 
     @property
     def free(self) -> int:
@@ -140,23 +163,49 @@ class ShmRing:
         return int(self._header[_IDX_HIGH_WATER])
 
     def counters(self) -> dict:
-        """Snapshot of the producer's backpressure counters."""
+        """Snapshot of the producer's backpressure + traffic counters.
+
+        All values are monotonic totals since creation; consumers
+        wanting per-interval numbers snapshot and diff them (which is
+        exactly what the shuffle planes' per-frame stats do).
+        """
         return {
             "stall_seconds": self.stall_seconds,
             "stall_events": self.stall_events,
             "high_water_bytes": self.high_water,
+            "written_bytes": self.written,
         }
 
     # -- producer ----------------------------------------------------------
-    def write_bytes(self, payload, timeout: Optional[float] = 30.0) -> None:
+    def write_bytes(
+        self, payload, timeout: Optional[float] = 30.0, on_wait=None
+    ) -> None:
         """Append ``payload`` (bytes-like), blocking while the ring is full.
 
         ``payload`` must fit in the ring at all (``len <= capacity``);
         callers stream larger transfers in capacity-bounded pieces or
-        fall back to another channel.
+        fall back to another channel.  ``on_wait`` (optional callable)
+        runs on every poll iteration while blocked — the mesh shuffle
+        plane uses it to drain its *own* inbound edges while waiting
+        for outbound space, which is what makes cycles of mutually
+        backpressured workers deadlock-free.
         """
-        buf = memoryview(payload).cast("B")
-        n = len(buf)
+        self.write_vec((payload,), timeout=timeout, on_wait=on_wait)
+
+    def write_vec(
+        self, parts, timeout: Optional[float] = 30.0, on_wait=None
+    ) -> None:
+        """Append several bytes-like ``parts`` as ONE atomic publish.
+
+        Each part is copied straight into the ring and the write cursor
+        is published once, after the last copy — so a consumer either
+        sees the whole concatenation or nothing, with no intermediate
+        gather buffer.  The mesh shuffle plane writes each record as
+        ``(header, run payload)`` through this, which keeps fragment
+        bytes at a single memcpy just like the uplink-ring path.
+        """
+        bufs = [memoryview(p).cast("B") for p in parts]
+        n = sum(len(b) for b in bufs)
         if n > self.capacity:
             raise ValueError(
                 f"payload of {n} B exceeds ring capacity {self.capacity} B"
@@ -165,7 +214,7 @@ class ShmRing:
             return
         if self.free < n:  # backpressure: the consumer is behind
             t0 = time.monotonic()
-            self._wait(lambda: self.free >= n, timeout, "space")
+            self._wait(lambda: self.free >= n, timeout, "space", on_wait)
             self._header[_IDX_STALL_NS] = np.uint64(
                 int(self._header[_IDX_STALL_NS])
                 + int((time.monotonic() - t0) * 1e9)
@@ -174,12 +223,20 @@ class ShmRing:
                 int(self._header[_IDX_STALL_EVENTS]) + 1
             )
         w = int(self._header[_IDX_WRITE])
-        start = w % self.capacity
-        first = min(n, self.capacity - start)
-        self._data[start : start + first] = np.frombuffer(buf[:first], np.uint8)
-        if first < n:  # wrap
-            self._data[: n - first] = np.frombuffer(buf[first:], np.uint8)
-        # Publish after the copy: the consumer can never observe bytes
+        off = w
+        for buf in bufs:
+            m = len(buf)
+            if m == 0:
+                continue
+            start = off % self.capacity
+            first = min(m, self.capacity - start)
+            self._data[start : start + first] = np.frombuffer(
+                buf[:first], np.uint8
+            )
+            if first < m:  # wrap
+                self._data[: m - first] = np.frombuffer(buf[first:], np.uint8)
+            off += m
+        # Publish after the copies: the consumer can never observe bytes
         # that are not fully written.
         self._header[_IDX_WRITE] = np.uint64(w + n)
         occupied = w + n - int(self._header[_IDX_READ])
@@ -220,7 +277,9 @@ class ShmRing:
         return np.frombuffer(self.read_bytes(nbytes, timeout), dtype=dtype)
 
     # -- plumbing ----------------------------------------------------------
-    def _wait(self, ready, timeout: Optional[float], what: str) -> None:
+    def _wait(
+        self, ready, timeout: Optional[float], what: str, on_wait=None
+    ) -> None:
         deadline = None if timeout is None else time.monotonic() + timeout
         while not ready():
             if deadline is not None and time.monotonic() > deadline:
@@ -228,6 +287,8 @@ class ShmRing:
                     f"ring {self.name}: no {what} after {timeout}s "
                     f"(used {self.used}/{self.capacity} B)"
                 )
+            if on_wait is not None:
+                on_wait()
             time.sleep(_POLL_SECONDS)
 
     def close(self) -> None:

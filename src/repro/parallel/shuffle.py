@@ -1,0 +1,655 @@
+"""The pluggable shuffle plane: who moves fragment runs between processes.
+
+The paper's GPUs exchange emitted fragments *directly* over the
+interconnect during the shuffle into Sort/Reduce; the parent CPU only
+orchestrates.  This module makes that separation explicit for the pool
+executor: all inter-process movement of run bytes is owned by a
+**shuffle plane** with two interchangeable implementations, selected by
+``shuffle_mode``:
+
+``ParentRoutedShuffle`` (``"parent"``)
+    The PR-2/PR-3 layout, refactored behind the plane interface: every
+    worker streams its bucketed runs up its private SPSC ring to the
+    parent, which (for worker-side reduce) re-ships each partition's
+    chunk-ordered runs down to the owning worker over the pickling task
+    queues.  Simple, but the parent is a serial bandwidth bottleneck —
+    every fragment byte crosses it at least once.
+
+``MeshShuffle`` (``"mesh"``)
+    An N×N mesh of SPSC shared-memory rings (one *edge* per ordered
+    worker pair, generalizing :mod:`repro.parallel.ring`): each mapper
+    writes a partition's run **directly** into the owning reducer
+    worker's inbound edge, tagged ``(frame, chunk index, partition)``
+    so the owner can restore chunk order and execute the literal
+    :func:`~repro.core.executors.merge_partition_runs` — the parent
+    never touches run bytes (asserted by the ``parent_run_bytes``
+    counter it exports).  Runs a mapper owns itself short-circuit
+    through a local stash, no copy.  Edges are created by the *reader*
+    worker after CPU pinning (first touch lands on its node) but
+    unlinked by the parent, preserving the zero-leak teardown
+    guarantee even when a worker dies mid-shuffle.
+
+Both planes feed byte-identical, chunk-ordered runs into the identical
+reducer code, so outputs are bitwise-equal across planes by
+construction — the plane only decides *which processes the bytes
+traverse*.
+
+Mesh record protocol
+--------------------
+One record per ``(chunk, partition)`` — **including empty runs** — is
+written to the owner's inbound edge as a single atomic ring write::
+
+    [ 32-byte header: u64 seq | u64 chunk | u64 partition | u64 nbytes ]
+    [ nbytes of raw KV pairs (the run, in emission order) ]
+
+Because :class:`~repro.parallel.ring.ShmRing` publishes its write
+cursor only after the whole copy, a reader that observes ``used >= 32``
+always has a complete record available — the inbound poll never blocks.
+Writing every ``(chunk, partition)`` record (empty ones are header
+-only) gives the owner a deterministic **per-frame completion
+watermark**: frame ``seq`` is complete exactly when ``n_chunks ×
+len(owned partitions)`` records have arrived, so pipelined frames can
+interleave on the wire without ever interleaving in a reduce.
+
+Backpressure and deadlock freedom: a writer blocked on a full outbound
+edge cooperatively drains its *own* inbound edges while waiting
+(:meth:`WorkerMesh.poll` via the ring's ``on_wait`` hook), so a cycle
+of mutually backpressured workers always makes progress.  A record too
+large for its edge falls back to the parent queue (relayed to the
+owner, counted in ``queue_fallbacks``) instead of deadlocking.  A
+truly wedged edge (dead peer) surfaces as a
+:class:`~repro.parallel.ring.RingTimeout` after the configurable
+``ring_write_timeout``, which tears the whole pool down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.executors import ShuffleSpec
+from .merge import split_runs
+from .ring import _POLL_SECONDS, RingTimeout, ShmRing
+
+__all__ = [
+    "DEFAULT_RING_WRITE_TIMEOUT",
+    "ENV_RING_WRITE_TIMEOUT",
+    "ENV_SHUFFLE_MODE",
+    "MESH_HEADER_NBYTES",
+    "MeshShuffle",
+    "ParentRoutedShuffle",
+    "PoolConfig",
+    "WorkerMesh",
+]
+
+#: Environment override for :attr:`PoolConfig.ring_write_timeout` —
+#: lets soak tests (and impatient operators) shorten the wedged-edge
+#: detection bound without monkeypatching worker code.
+ENV_RING_WRITE_TIMEOUT = "REPRO_RING_WRITE_TIMEOUT"
+
+#: Environment override for ``shuffle_mode="auto"`` resolution — the CI
+#: slow matrix forces each plane in turn through this.
+ENV_SHUFFLE_MODE = "REPRO_SHUFFLE_MODE"
+
+#: How long a blocked ring/edge write may sit in backpressure before it
+#: is declared wedged.  With ``pipeline_depth > 1`` a blocked write is
+#: the *normal* flow-control state (the consumer is legitimately busy
+#: with the previous frame), so the bound is generous; it exists only
+#: so a dead peer surfaces as a RingTimeout instead of a silent hang.
+DEFAULT_RING_WRITE_TIMEOUT = 300.0
+
+#: Mesh record header: (frame seq, chunk index, partition, payload bytes).
+MESH_HEADER_DTYPE = np.dtype(
+    [("seq", "<u8"), ("chunk", "<u8"), ("part", "<u8"), ("nbytes", "<u8")]
+)
+MESH_HEADER_NBYTES = MESH_HEADER_DTYPE.itemsize  # 32
+
+
+def mesh_fd_headroom(workers: int) -> tuple:
+    """Whether the parent can afford the mesh's O(N²) attachments.
+
+    The parent holds every edge ring open (N(N-1) ``shm_open`` fds for
+    counters and crash-safe unlink) on top of per-worker queues/pipes;
+    on a many-core host with the default soft ``RLIMIT_NOFILE`` of 1024
+    that cliff arrives around ~30 workers.  Returns
+    ``(fits, needed_estimate, soft_limit)`` — ``fits`` leaves half the
+    soft limit free for the application; ``soft_limit`` is -1 when the
+    limit is unknown or unlimited (always fits).
+    """
+    workers = int(workers)
+    needed = workers * (workers - 1) + 4 * workers + 64
+    try:
+        import resource
+
+        soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft == resource.RLIM_INFINITY:
+            return True, needed, -1
+    except Exception:  # pragma: no cover - non-POSIX
+        return True, needed, -1
+    return needed <= soft // 2, needed, int(soft)
+
+
+def mesh_edge_name(token: str, src: int, dst: int) -> str:
+    """Deterministic segment name for the ``src → dst`` edge of one mesh.
+
+    Edges are *created* by their reader worker (after pinning), but the
+    parent must be able to unlink every edge even when a worker dies
+    before reporting anything — including during the handshake itself.
+    A per-pool token plus the edge coordinates makes every name known
+    to the parent in advance, so teardown never depends on a message
+    that a dead worker failed to send.
+    """
+    return f"repro_mesh_{token}_{src}_{dst}"
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Transport knobs of the pool executor's data plane.
+
+    Everything here is *mechanism*, not meaning: no setting may change
+    rendered output (the parity suites enforce it); they trade memory,
+    latency, and failure-detection bounds.
+
+    ring_capacity:
+        Per-worker uplink fragment ring size in bytes (worker → parent).
+    mesh_edge_capacity:
+        Per-edge mesh ring size in bytes; default
+        ``max(64 KiB, ring_capacity // workers)`` so a full mesh uses
+        about the same memory as the uplink rings.
+    ring_write_timeout:
+        Seconds a blocked ring **or mesh-edge** write may wait before
+        raising :class:`~repro.parallel.ring.RingTimeout` (which tears
+        the pool down).  ``None`` reads ``$REPRO_RING_WRITE_TIMEOUT``,
+        falling back to :data:`DEFAULT_RING_WRITE_TIMEOUT`.
+    shuffle_mode:
+        ``"parent"``, ``"mesh"``, or ``"auto"`` (default).  Auto reads
+        ``$REPRO_SHUFFLE_MODE`` if set, else picks ``"mesh"`` when the
+        reduce runs on workers (where direct exchange pays) and
+        ``"parent"`` otherwise.  Note the mesh data plane only
+        materializes under ``reduce_mode="worker"`` — with a
+        parent-side reduce every run's destination *is* the parent, so
+        the uplink rings already are the direct path.
+    pin_workers:
+        Opt-in NUMA/core pinning: give each worker its own core via
+        ``os.sched_setaffinity`` before it allocates its inbound mesh
+        edges (first-touch locality).  No-op with a warning when
+        affinity is unavailable or there are fewer cores than workers.
+    """
+
+    ring_capacity: int = 8 << 20
+    mesh_edge_capacity: Optional[int] = None
+    ring_write_timeout: Optional[float] = None
+    shuffle_mode: str = "auto"
+    pin_workers: bool = False
+
+    def __post_init__(self):
+        if self.ring_capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        if self.mesh_edge_capacity is not None and self.mesh_edge_capacity < (
+            MESH_HEADER_NBYTES + 1
+        ):
+            raise ValueError(
+                f"mesh edge capacity must exceed the {MESH_HEADER_NBYTES}-byte "
+                "record header"
+            )
+        if self.shuffle_mode not in ("auto", "parent", "mesh"):
+            raise ValueError(f"unknown shuffle_mode {self.shuffle_mode!r}")
+        if self.ring_write_timeout is not None and self.ring_write_timeout <= 0:
+            raise ValueError("ring write timeout must be positive")
+
+    def resolved_ring_write_timeout(self) -> float:
+        if self.ring_write_timeout is not None:
+            return float(self.ring_write_timeout)
+        env = os.environ.get(ENV_RING_WRITE_TIMEOUT, "").strip()
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"${ENV_RING_WRITE_TIMEOUT}={env!r} is not a number"
+                ) from None
+            if value <= 0:
+                raise ValueError(
+                    f"${ENV_RING_WRITE_TIMEOUT}={env!r} must be positive"
+                )
+            return value
+        return DEFAULT_RING_WRITE_TIMEOUT
+
+    def resolved_shuffle_mode(self, reduce_mode: str) -> str:
+        mode = self.shuffle_mode
+        if mode == "auto":
+            env = os.environ.get(ENV_SHUFFLE_MODE, "").strip()
+            if env:
+                if env not in ("parent", "mesh"):
+                    raise ValueError(
+                        f"${ENV_SHUFFLE_MODE}={env!r} must be 'parent' or 'mesh'"
+                    )
+                return env
+            return "mesh" if reduce_mode == "worker" else "parent"
+        return mode
+
+    def shuffle_mode_is_explicit(self) -> bool:
+        """Whether a plane was deliberately pinned — by the config/kwarg
+        or by ``$REPRO_SHUFFLE_MODE`` — rather than left to the auto
+        heuristic.  Callers that would silently override the resolved
+        plane (e.g. the fd-headroom guard) must fail loudly instead
+        when this is True; keeping the env sniffing here, next to
+        :meth:`resolved_shuffle_mode`, keeps one source of truth for
+        what counts as an explicit request."""
+        return self.shuffle_mode != "auto" or bool(
+            os.environ.get(ENV_SHUFFLE_MODE, "").strip()
+        )
+
+    def resolved_edge_capacity(self, workers: int) -> int:
+        if self.mesh_edge_capacity is not None:
+            return int(self.mesh_edge_capacity)
+        return max(1 << 16, int(self.ring_capacity) // max(1, int(workers)))
+
+
+# ---------------------------------------------------------------------------
+# Worker half of the mesh: inbound edge ownership + outbound routing.
+# ---------------------------------------------------------------------------
+class WorkerMesh:
+    """One worker's view of the N×N edge mesh.
+
+    Owns this worker's **inbound** edges (created here, after pinning,
+    so the pages are first-touched on the worker's node; the parent
+    adopts unlink duty) and attaches to the **outbound** edges other
+    workers created, once the parent broadcasts the name matrix.
+
+    Incoming records are drained opportunistically (:meth:`poll` never
+    blocks — complete records only, see the module docstring) into a
+    per-frame stash, and :meth:`take_frame` turns a completed frame's
+    stash back into the chunk-ordered ``runs_per_chunk`` layout the
+    literal merge function consumes.  Frames never interleave: every
+    record carries its frame seq, and a frame is only consumed once its
+    completion watermark (``n_chunks × owned partitions`` records) is
+    reached.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        n_workers: int,
+        edge_capacity: int,
+        write_timeout: float,
+        token: Optional[str] = None,
+    ):
+        self.worker_id = int(worker_id)
+        self.n_workers = int(n_workers)
+        self.edge_capacity = int(edge_capacity)
+        self.write_timeout = float(write_timeout)
+        # Inbound edge from every *other* worker; runs routed to self
+        # short-circuit through the stash without touching a ring.
+        # With a pool token the names are deterministic (see
+        # :func:`mesh_edge_name`), so the parent can always unlink them.
+        self.inbound: Dict[int, ShmRing] = {
+            i: ShmRing.create(
+                self.edge_capacity,
+                record_size=1,
+                name=(
+                    mesh_edge_name(token, i, self.worker_id)
+                    if token is not None
+                    else None
+                ),
+            )
+            for i in range(self.n_workers)
+            if i != self.worker_id
+        }
+        self.outbound: Dict[int, ShmRing] = {}
+        # seq -> {(chunk index, partition): raw bytes | ndarray}
+        self._stash: Dict[int, dict] = {}
+
+    @property
+    def inbound_names(self) -> Dict[int, str]:
+        """Writer id → segment name, reported to the parent once."""
+        return {i: ring.name for i, ring in self.inbound.items()}
+
+    def attach_row(self, names: Dict[int, str]) -> None:
+        """Attach to the inbound edges of every peer (this row's writes)."""
+        for j, name in names.items():
+            if j not in self.outbound:
+                self.outbound[j] = ShmRing.attach(name)
+
+    # -- receiving ---------------------------------------------------------
+    def _put(self, seq: int, ci: int, part: int, payload) -> None:
+        self._stash.setdefault(seq, {})[(ci, part)] = payload
+
+    def stash_relay(self, seq: int, ci: int, part: int, run) -> None:
+        """Accept a parent-relayed oversized record (queue fallback)."""
+        self._put(seq, ci, part, run)
+
+    def poll(self) -> bool:
+        """Drain every complete record currently visible on any inbound
+        edge into the stash.  Never blocks; returns whether anything
+        arrived.  Safe to call from inside a blocked outbound write
+        (the ``on_wait`` hook) — that is what makes writer cycles
+        deadlock-free."""
+        got = False
+        for ring in self.inbound.values():
+            while ring.used >= MESH_HEADER_NBYTES:
+                hdr = np.frombuffer(
+                    ring.read_bytes(MESH_HEADER_NBYTES, timeout=self.write_timeout),
+                    MESH_HEADER_DTYPE,
+                )[0]
+                payload = ring.read_bytes(
+                    int(hdr["nbytes"]), timeout=self.write_timeout
+                )
+                self._put(
+                    int(hdr["seq"]), int(hdr["chunk"]), int(hdr["part"]), payload
+                )
+                got = True
+        return got
+
+    # -- sending -----------------------------------------------------------
+    def send(self, seq: int, ci: int, part: int, run: np.ndarray, owner: int) -> bool:
+        """Ship one ``(chunk, partition)`` run to its owning worker.
+
+        Returns False when the record cannot fit the edge at all — the
+        caller must fall back to the parent-queue relay (the record
+        still counts toward the owner's watermark, it just travels the
+        control plane).  ``run`` must be C-contiguous.
+        """
+        if owner == self.worker_id:
+            self._put(seq, ci, part, run)
+            return True
+        ring = self.outbound[owner]
+        n = int(run.nbytes)
+        if MESH_HEADER_NBYTES + n > ring.capacity:
+            return False
+        header = np.array(
+            [(seq, ci, part, n)], dtype=MESH_HEADER_DTYPE
+        ).view(np.uint8)
+        # One atomic publish per record (header + payload, single write
+        # cursor update): a visible header implies a visible payload, so
+        # readers never block mid-record — and the run bytes are copied
+        # exactly once, straight into the ring.
+        ring.write_vec(
+            (header, run.view(np.uint8).reshape(-1)),
+            timeout=self.write_timeout,
+            on_wait=self.poll,
+        )
+        return True
+
+    # -- reducing ----------------------------------------------------------
+    def take_frame(
+        self,
+        seq: int,
+        owned: list,
+        n_chunks: int,
+        kv_dtype: np.dtype,
+    ) -> list:
+        """Wait for frame ``seq``'s completion watermark, then return its
+        chunk-ordered runs for this worker's ``owned`` partitions —
+        exactly the ``runs_per_chunk`` layout the parent-routed plane
+        ships, so the downstream merge cannot tell the planes apart.
+
+        By the control-plane contract this is called only after the
+        parent observed every map completion for ``seq`` (sealing), so
+        all records are already published (in edges, the stash, or
+        relayed ahead of the reduce message on the task queue) and the
+        wait below terminates immediately in practice; the timeout
+        guards against protocol violations, not flow control.
+        """
+        kv_dtype = np.dtype(kv_dtype)
+        expected = int(n_chunks) * len(owned)
+        deadline = time.monotonic() + self.write_timeout
+        frame = self._stash.setdefault(seq, {})
+        while len(frame) < expected:
+            if not self.poll() and len(frame) < expected:
+                if time.monotonic() > deadline:
+                    raise RingTimeout(
+                        f"mesh watermark for frame {seq} not reached: "
+                        f"{len(frame)}/{expected} records after "
+                        f"{self.write_timeout}s"
+                    )
+                time.sleep(_POLL_SECONDS)
+        records = self._stash.pop(seq)
+        runs_per_chunk = []
+        for ci in range(int(n_chunks)):
+            row = []
+            for part in owned:
+                raw = records[(ci, part)]
+                if not isinstance(raw, np.ndarray):
+                    raw = np.frombuffer(raw, dtype=kv_dtype)
+                row.append(raw)
+            runs_per_chunk.append(row)
+        return runs_per_chunk
+
+    def close(self) -> None:
+        """Detach everything.  Inbound edges were created here, but the
+        *parent* owns unlink (crash-safe teardown); a clean close still
+        unlinks defensively — double unlink is guarded in the ring."""
+        for ring in self.outbound.values():
+            ring.close()
+        self.outbound = {}
+        for ring in self.inbound.values():
+            ring.close()
+        self.inbound = {}
+        self._stash.clear()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side planes: the control-plane view of the two transports.
+# ---------------------------------------------------------------------------
+class ParentRoutedShuffle:
+    """Today's transport behind the plane interface: runs go worker →
+    (uplink ring) → parent → (task queue) → owning worker.  The parent
+    is on the data path; ``parent_run_bytes`` counts every byte it
+    touched."""
+
+    mode = "parent"
+
+    def __init__(self, pool):
+        self.pool = pool
+        self._ring_base = [
+            ring.counters() for ring in pool._state.get("rings", [])
+        ]
+
+    def start(self) -> None:  # no extra transport to negotiate
+        pass
+
+    # -- data-plane events -------------------------------------------------
+    def on_map_done(self, frame, wi, ci, routed, ring_nbytes, inline) -> None:
+        """Consume one map completion's run payload (ring or inline)."""
+        if inline is not None:
+            pairs = inline
+        else:
+            # Ring bytes are consumed immediately, in per-worker
+            # completion-message order (the ring is FIFO), even when
+            # the message belongs to a newer frame than the one being
+            # collected — frames only reorder at the *result* level.
+            pairs = self.pool._state["rings"][wi].read_records(
+                ring_nbytes, frame.spec.kv.dtype
+            )
+        frame.parent_run_bytes += int(pairs.nbytes)
+        frame.runs_per_chunk[ci] = split_runs(pairs, routed)
+
+    def on_fallback(self, frame, msg) -> None:  # pragma: no cover
+        raise RuntimeError(
+            "mesh_fallback message received on the parent-routed plane"
+        )
+
+    def dispatch_reduce(self, frame) -> None:
+        """Ship each worker the chunk-ordered runs of its owned partitions.
+
+        Ownership comes from the shared :class:`ShuffleSpec` contract —
+        static, so results never depend on scheduling.  The payload is
+        parent-owned memory (ring copies / inline arrays), never arena
+        views, so a later arena republish cannot invalidate it.
+        """
+        pool = self.pool
+        shuf = ShuffleSpec(frame.spec.n_reducers, pool.workers)
+        for wi in range(pool.workers):
+            owned = shuf.owned_partitions(wi)
+            if not owned:
+                continue
+            runs_per_chunk = [
+                [frame.runs_per_chunk[ci][r] for r in owned]
+                for ci in range(frame.n)
+            ]
+            pool._state["task_queues"][wi].put(
+                ("reduce", frame.seq, owned, runs_per_chunk)
+            )
+        # The parent no longer needs the raw runs: free them eagerly so a
+        # deep pipeline holds at most one frame's fragments at a time.
+        frame.runs_per_chunk = [None] * frame.n
+
+    def frame_stats(self, frame) -> dict:
+        """Per-frame backpressure export: producer stall deltas since the
+        previous collect, absolute high-water marks, queue fallbacks."""
+        per_worker = []
+        for wi, ring in enumerate(self.pool._state.get("rings", [])):
+            now = ring.counters()
+            base = self._ring_base[wi]
+            per_worker.append(
+                {
+                    "worker": wi,
+                    "stall_seconds": now["stall_seconds"]
+                    - base["stall_seconds"],
+                    "stall_events": now["stall_events"]
+                    - base["stall_events"],
+                    "high_water_bytes": now["high_water_bytes"],
+                }
+            )
+            self._ring_base[wi] = now
+        return {
+            "shuffle_mode": self.mode,
+            "stall_seconds": sum(w["stall_seconds"] for w in per_worker),
+            "stall_events": sum(w["stall_events"] for w in per_worker),
+            "high_water_bytes": max(
+                (w["high_water_bytes"] for w in per_worker), default=0
+            ),
+            "queue_fallbacks": frame.queue_fallbacks,
+            "parent_run_bytes": frame.parent_run_bytes,
+            "ring_capacity": self.pool.ring_capacity,
+            "per_worker": per_worker,
+        }
+
+
+class MeshShuffle:
+    """Direct worker↔worker transport: the parent degrades to a pure
+    control plane (publish, seal, stitch, teardown) and never sees a
+    run byte — except the explicit oversized-record queue fallback,
+    which it counts."""
+
+    mode = "mesh"
+
+    def __init__(self, pool):
+        self.pool = pool
+        self._edge_base: Dict[tuple, dict] = {}
+
+    def start(self) -> None:
+        """Run the edge handshake: collect every worker's inbound-edge
+        names (created worker-side, after pinning), attach to all N×N
+        edges with unlink ownership, and broadcast each worker its
+        outbound row.  Raises — tearing the pool down — if a worker
+        dies or misbehaves before the mesh is up."""
+        pool = self.pool
+        n = pool.workers
+        inbound: Dict[int, Dict[int, str]] = {}
+        while len(inbound) < n:
+            msg = pool._recv(timeout=1.0)
+            if msg is None:
+                continue
+            kind = msg[0]
+            if kind == "error":
+                _, wi, what, tb = msg
+                raise RuntimeError(
+                    f"task failure in the worker pool "
+                    f"[{what} on worker {wi}]:\n{tb}"
+                )
+            if kind != "mesh_ready":  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"unexpected {kind!r} message during the mesh handshake"
+                )
+            _, wi, names = msg
+            inbound[wi] = names
+        edges: Dict[tuple, ShmRing] = {}
+        for j, names in inbound.items():
+            for i, name in names.items():
+                # owner=True: the parent adopts unlink duty so a worker
+                # crash cannot leak the segment.
+                edges[(i, j)] = ShmRing.attach(name, owner=True)
+        pool._state["mesh_edges"] = edges
+        for i in range(n):
+            row = {j: inbound[j][i] for j in range(n) if j != i}
+            pool._state["task_queues"][i].put(("mesh_attach", row))
+        self._edge_base = {key: r.counters() for key, r in edges.items()}
+
+    # -- data-plane events -------------------------------------------------
+    def on_map_done(self, frame, wi, ci, routed, ring_nbytes, inline) -> None:
+        # Run bytes traveled the mesh; nothing for the parent to consume.
+        return None
+
+    def on_fallback(self, frame, msg) -> None:
+        """Relay one oversized record to its owner over the task queue.
+
+        Relays are enqueued strictly before the frame's reduce message
+        (the sender's map completion follows its fallbacks on the FIFO
+        result queue, and sealing waits for every completion), so the
+        owner always sees relay → reduce in order and the watermark
+        cannot hang on a record stuck behind it.
+        """
+        _, wi, seq, ci, part, run = msg
+        shuf = ShuffleSpec(frame.spec.n_reducers, self.pool.workers)
+        frame.parent_run_bytes += int(run.nbytes)
+        self.pool._state["task_queues"][shuf.owner_of(part)].put(
+            ("mesh_relay", seq, ci, part, run)
+        )
+
+    def dispatch_reduce(self, frame) -> None:
+        """Pure control plane: announce which partitions each worker
+        reduces; the runs are already in (or on their way through) the
+        owner's inbound edges."""
+        pool = self.pool
+        shuf = ShuffleSpec(frame.spec.n_reducers, pool.workers)
+        for wi in range(pool.workers):
+            owned = shuf.owned_partitions(wi)
+            if not owned:
+                continue
+            pool._state["task_queues"][wi].put(
+                ("reduce", frame.seq, owned, None)
+            )
+
+    def frame_stats(self, frame) -> dict:
+        """Aggregate per-edge backpressure into the JobStats.ring schema:
+        stall deltas since the previous collect, high-water marks, total
+        bytes moved over the mesh, and the control-plane escape hatches
+        (queue fallbacks / parent-touched run bytes)."""
+        per_edge = []
+        total_bytes = 0
+        for (i, j), ring in sorted(self.pool._state.get("mesh_edges", {}).items()):
+            now = ring.counters()
+            base = self._edge_base.get((i, j), now)
+            # Delta like the stall counters, so the whole dict shares
+            # one windowing semantic: "since the previous collect".
+            total_bytes += now["written_bytes"] - base["written_bytes"]
+            per_edge.append(
+                {
+                    "src": i,
+                    "dst": j,
+                    "stall_seconds": now["stall_seconds"]
+                    - base["stall_seconds"],
+                    "stall_events": now["stall_events"] - base["stall_events"],
+                    "high_water_bytes": now["high_water_bytes"],
+                }
+            )
+            self._edge_base[(i, j)] = now
+        return {
+            "shuffle_mode": self.mode,
+            "stall_seconds": sum(e["stall_seconds"] for e in per_edge),
+            "stall_events": sum(e["stall_events"] for e in per_edge),
+            "high_water_bytes": max(
+                (e["high_water_bytes"] for e in per_edge), default=0
+            ),
+            "queue_fallbacks": frame.queue_fallbacks,
+            "parent_run_bytes": frame.parent_run_bytes,
+            "mesh_bytes_total": total_bytes,
+            "ring_capacity": self.pool.mesh_edge_capacity,
+            "per_edge": per_edge,
+        }

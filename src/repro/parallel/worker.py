@@ -1,7 +1,12 @@
-"""Pool worker: the per-"GPU" Map+Partition — and Sort+Reduce — stages.
+"""Pool worker: the per-"GPU" Map → shuffle-out → shuffle-in → Reduce
+state machine.
 
 Each worker is the multiprocess stand-in for one of the paper's GPUs.
-Its loop consumes control messages from a per-worker task queue:
+At startup it (optionally) pins itself to its assigned core, then — on
+the mesh shuffle plane — allocates its *inbound* edge rings (after
+pinning, so first touch lands on the local node) and reports their
+names to the parent.  Its loop then consumes control messages from a
+per-worker task queue:
 
 ``("arena", ArenaSpec|None)``
     (Re)attach the published chunk/transfer-function arena.  Macro-cell
@@ -9,37 +14,56 @@ Its loop consumes control messages from a per-worker task queue:
     the worker's process-local acceleration cache as zero-copy views —
     the multiprocess analogue of the paper's static per-GPU structures —
     and are evicted again before an old arena is unmapped.
+``("mesh_attach", {peer: ring name})``
+    Attach to every peer's inbound edge (this worker's outbound row of
+    the N×N mesh).  Sent once, before any frame.
 ``("frame", bytes)``
     Pickled :class:`FrameContext` parts for the next frame — mapper,
-    partitioner, combiner, reducer, KV spec, key bound.  The transfer
-    -function table is *not* in the pickle: it lives in the arena and is
-    rebound here (the paper's "static data uploaded once per device").
+    partitioner, combiner, reducer, KV spec, key bound, chunk count.
+    The transfer-function table is *not* in the pickle: it lives in the
+    arena and is rebound here (the paper's "static data uploaded once
+    per device").
 ``("map", frame_seq, chunk_index, chunk_id, nbytes, on_disk, meta)``
     Run Map + Partition for one chunk: ray-cast (or any user mapper),
-    validate, discard placeholders, combine, bucket by reducer.  The
-    bucketed fragment runs stream back through this worker's shared
-    -memory ring; counters travel on the result queue.
-``("reduce", frame_seq, owned_partitions, runs_per_chunk)``
+    validate, discard placeholders, combine, bucket by reducer.
+    **Shuffle-out** follows immediately: on the parent-routed plane the
+    bucketed runs stream up this worker's uplink ring (counters travel
+    on the result queue); on the mesh plane each partition's run goes
+    *directly* into the owning worker's inbound edge, tagged
+    ``(frame, chunk, partition)`` — the parent sees counters only.
+``("mesh_relay", frame_seq, chunk_index, partition, run)``
+    An oversized record another mapper could not fit through its edge,
+    relayed by the parent (control-plane escape hatch).  Stashed like
+    any other inbound record; arrives before the frame's reduce
+    message by queue order.
+``("reduce", frame_seq, owned_partitions, runs_per_chunk|None)``
     Run Sort + Reduce for this worker's *owned* reducer partitions —
     the paper's symmetric half, where the same devices that mapped also
-    reduce.  ``runs_per_chunk`` holds the chunk-ordered runs for the
-    owned partitions (renumbered ``0..n-1``); the worker executes the
+    reduce.  On the parent-routed plane ``runs_per_chunk`` holds the
+    chunk-ordered runs (renumbered ``0..n-1``); on the mesh plane it is
+    ``None`` and **shuffle-in** happens here: the worker drains its
+    inbound edges until frame ``seq``'s completion watermark
+    (``n_chunks × owned`` records, empty runs included) is reached,
+    restores chunk order from the record tags, and executes the
     **literal** :func:`~repro.core.executors.merge_partition_runs` the
-    parent would have run and ships back composited per-partition
+    parent would have run, shipping back composited per-partition
     ``(keys, values)`` outputs instead of raw fragments.
 ``("stop",)``
     Detach everything and exit.
 
 Determinism: the map and reduce kernels are pure NumPy, so a chunk's
 fragment runs — and a partition's reduced spans — are bitwise-identical
-wherever they execute; the parent only has to keep chunk order (for
-runs) and partition order (for reduced outputs) to match
+wherever they execute; chunk order (for runs) and partition order (for
+reduced outputs) are restored from explicit tags, never from arrival
+order, so both shuffle planes match
 :class:`~repro.core.executors.InProcessExecutor` exactly.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import queue as queue_mod
 import traceback
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -49,12 +73,14 @@ import numpy as np
 from ..core.chunk import Chunk
 from ..core.executors import (
     PartitionReduceSpec,
+    ShuffleSpec,
     map_chunk_to_runs,
     merge_partition_runs,
 )
 from ..core.job import MapReduceSpec
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
+from .shuffle import DEFAULT_RING_WRITE_TIMEOUT, WorkerMesh
 
 __all__ = [
     "FrameContext",
@@ -73,15 +99,6 @@ TF_ARENA_KEY = "__tf_table__"
 #: element *is* the cache key the ray-cast kernel will look up.
 GRID_ARENA_KEY = "__accel_grid__"
 
-#: How long a worker will sit in ring backpressure before giving up.
-#: With ``pipeline_depth > 1`` the parent legitimately stops draining
-#: while it reduces/stitches the previous frame, so a blocked write is
-#: the *normal* flow-control state, not an error; the bound exists only
-#: so a truly wedged parent surfaces as a RingTimeout (which tears the
-#: pool down) instead of a silent hang.
-RING_WRITE_TIMEOUT = 300.0
-
-
 @dataclass
 class FrameContext:
     """Everything a worker needs to map — and reduce — chunks of one frame."""
@@ -93,11 +110,15 @@ class FrameContext:
     kv: Any
     max_key: int
     n_reducers: int
+    n_chunks: int = 0  # mesh watermark: records/partition expected per frame
     tf_ref: Optional[tuple] = None  # (vmin, vmax) when the table is in the arena
 
     @classmethod
     def from_spec(
-        cls, spec: MapReduceSpec, include_reducer: bool = False
+        cls,
+        spec: MapReduceSpec,
+        include_reducer: bool = False,
+        n_chunks: int = 0,
     ) -> "FrameContext":
         # The reducer rides along only when workers will actually reduce
         # (reduce_mode="worker"); parent-mode jobs keep working even with
@@ -110,6 +131,7 @@ class FrameContext:
             kv=spec.kv,
             max_key=spec.max_key,
             n_reducers=spec.n_reducers,
+            n_chunks=int(n_chunks),
         )
 
     def rebind_tf(self, view: ArenaView) -> None:
@@ -129,15 +151,41 @@ class FrameContext:
 # worker's runs are bitwise-identical to serial execution by construction.
 
 
+def _pin_to_core(pin_cpu: Optional[int]) -> None:
+    """Pin this worker to its assigned core (best effort).
+
+    The parent already validated availability and emitted the warning
+    when pinning was requested but impossible, so failures here (cores
+    taken offline between spawn and pin) silently fall back to the
+    unpinned scheduler placement rather than killing the worker.
+    """
+    if pin_cpu is None:
+        return
+    try:
+        os.sched_setaffinity(0, {int(pin_cpu)})
+    except (AttributeError, OSError):  # pragma: no cover - platform dependent
+        pass
+
+
 def _handle_map(
     worker_id: int,
     ctx: FrameContext,
     view: ArenaView,
     ring: ShmRing,
+    mesh: Optional[WorkerMesh],
+    write_timeout: float,
     result_queue,
     msg: tuple,
 ) -> None:
-    """Run one map task and publish its runs (ring) and counters (queue)."""
+    """Run one map task, then shuffle its runs out.
+
+    Mesh plane: one record per ``(chunk, partition)`` straight to the
+    owner's inbound edge (oversized records fall back through the
+    parent queue and are counted).  Parent plane: raw run bytes stream
+    up the uplink ring, with the whole chunk falling back inline on the
+    result queue when it outgrows the ring.  Either way the "done"
+    message carries only counters.
+    """
     _, seq, ci, chunk_id, nbytes, on_disk, meta = msg
     try:
         chunk = Chunk(
@@ -148,23 +196,39 @@ def _handle_map(
             meta=meta,
         )
         runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
-        total = int(sum(run.nbytes for run in runs))
-        fallback = total > ring.capacity
-        if not fallback:
-            # Fast path: stream raw run bytes through the ring (reducer
-            # order), publish only counts on the queue.
-            for run in runs:
-                if len(run):
-                    ring.write_bytes(
-                        np.ascontiguousarray(run), timeout=RING_WRITE_TIMEOUT
+        fallbacks = 0
+        if mesh is not None:
+            # Shuffle-out over the mesh: run bytes never touch the parent.
+            shuf = ShuffleSpec(ctx.n_reducers, mesh.n_workers)
+            for part, run in enumerate(runs):
+                run = np.ascontiguousarray(run)
+                if not mesh.send(seq, ci, part, run, shuf.owner_of(part)):
+                    # Record too large for its edge: relay through the
+                    # parent's control plane rather than deadlock.
+                    result_queue.put(
+                        ("mesh_fallback", worker_id, seq, ci, part, run)
                     )
+                    fallbacks += 1
             inline = None
-            ring_nbytes = total
-        else:
-            # A single chunk outgrew the ring: fall back to the
-            # (pickling) queue rather than deadlock.
-            inline = np.concatenate(runs) if kept else None
             ring_nbytes = 0
+        else:
+            total = int(sum(run.nbytes for run in runs))
+            if total <= ring.capacity:
+                # Fast path: stream raw run bytes through the ring
+                # (reducer order), publish only counts on the queue.
+                for run in runs:
+                    if len(run):
+                        ring.write_bytes(
+                            np.ascontiguousarray(run), timeout=write_timeout
+                        )
+                inline = None
+                ring_nbytes = total
+            else:
+                # A single chunk outgrew the ring: fall back to the
+                # (pickling) queue rather than deadlock.
+                inline = np.concatenate(runs) if kept else None
+                ring_nbytes = 0
+                fallbacks = 1
         result_queue.put(
             (
                 "done",
@@ -177,7 +241,7 @@ def _handle_map(
                 routed.tolist(),
                 ring_nbytes,
                 inline,
-                fallback,
+                fallbacks,
             )
         )
     except Exception:
@@ -189,6 +253,7 @@ def _handle_map(
 def _handle_reduce(
     worker_id: int,
     ctx: FrameContext,
+    mesh: Optional[WorkerMesh],
     result_queue,
     msg: tuple,
 ) -> None:
@@ -197,10 +262,16 @@ def _handle_reduce(
     Runs the literal parent-side :func:`merge_partition_runs` over a
     :class:`PartitionReduceSpec` view in which the owned partitions are
     renumbered ``0..n-1`` — bitwise parity with parent-side reduce by
-    construction.
+    construction.  On the mesh plane the runs payload is ``None`` and
+    shuffle-in happens here: drain inbound edges to the frame's
+    watermark, then restore chunk order from the record tags.
     """
     _, seq, owned, runs_per_chunk = msg
     try:
+        if runs_per_chunk is None:
+            runs_per_chunk = mesh.take_frame(
+                seq, owned, ctx.n_chunks, ctx.kv.dtype
+            )
         ctx.reducer.initialize()
         view = PartitionReduceSpec(
             n_reducers=len(owned),
@@ -259,20 +330,78 @@ def _seed_grid_cache(view: ArenaView, seeded: list) -> None:
             seeded.append(key[1])
 
 
+def _next_message(task_queue, mesh: Optional[WorkerMesh]):
+    """Block for the next control message, draining the mesh meanwhile.
+
+    An idle worker (done mapping, waiting for its reduce message) must
+    keep consuming its inbound edges, or a peer still shuffling into a
+    small edge would stall until this worker's reduce — which the
+    parent only dispatches once *every* map completes, a distributed
+    deadlock.  Polling between messages (and inside blocked writes, via
+    the ring's ``on_wait`` hook) closes that window: whoever has ring
+    data to move can always make progress.
+
+    The poll interval backs off (5 ms → 100 ms) while both the edges
+    and the task queue stay empty, so a pool held open between frames
+    idles at ~10 wakeups per second instead of busy-polling; any
+    activity snaps it back to the responsive interval.  The cap stays
+    well under the edge write timeout (a tenth of it, at most), so a
+    napping owner can never turn a blocked peer's normal backpressure
+    into a spurious RingTimeout.
+    """
+    if mesh is None:
+        return task_queue.get()
+    timeout = 0.005
+    cap = max(0.005, min(0.1, mesh.write_timeout / 10.0))
+    while True:
+        if mesh.poll():
+            timeout = 0.005
+        try:
+            return task_queue.get(timeout=timeout)
+        except queue_mod.Empty:
+            timeout = min(timeout * 2.0, cap)
+
+
 def worker_main(
     worker_id: int,
     task_queue,
     result_queue,
-    ring_name: str,
+    ring_name: Optional[str],
+    cfg: Optional[dict] = None,
 ) -> None:
-    """Entry point of one pool worker process."""
-    ring = ShmRing.attach(ring_name)
+    """Entry point of one pool worker process.
+
+    ``cfg`` carries the transport configuration resolved by the parent:
+    ``pin_cpu`` (core to pin to, or None), ``write_timeout`` (shared by
+    the uplink ring and every mesh edge), and — when the mesh plane is
+    active — ``mesh_active``/``n_workers``/``edge_capacity``.  Pinning
+    happens **before** the inbound mesh edges are created so their
+    pages are first-touched on the pinned core's NUMA node.
+    ``ring_name`` is the uplink ring (parent-routed plane only; None on
+    the mesh plane, where run bytes travel the edges instead).
+    """
+    cfg = cfg or {}
+    _pin_to_core(cfg.get("pin_cpu"))
+    write_timeout = float(cfg.get("write_timeout", DEFAULT_RING_WRITE_TIMEOUT))
+    ring = ShmRing.attach(ring_name) if ring_name is not None else None
+    mesh: Optional[WorkerMesh] = None
+    if cfg.get("mesh_active"):
+        mesh = WorkerMesh(
+            worker_id,
+            int(cfg["n_workers"]),
+            int(cfg["edge_capacity"]),
+            write_timeout,
+            token=cfg.get("mesh_token"),
+        )
+        # Report the inbound edge names; the parent attaches (adopting
+        # unlink duty) and broadcasts each worker its outbound row.
+        result_queue.put(("mesh_ready", worker_id, mesh.inbound_names))
     view: Optional[ArenaView] = None
     ctx: Optional[FrameContext] = None
     seeded: list = []  # accel-cache keys backed by the current arena
     try:
         while True:
-            msg = task_queue.get()
+            msg = _next_message(task_queue, mesh)
             kind = msg[0]
             if kind == "stop":
                 break
@@ -291,6 +420,8 @@ def worker_main(
                 view = ArenaView(spec) if spec is not None else None
                 if view is not None:
                     _seed_grid_cache(view, seeded)
+            elif kind == "mesh_attach":
+                mesh.attach_row(msg[1])
             elif kind == "frame":
                 ctx = pickle.loads(msg[1])
                 if view is not None:
@@ -300,12 +431,28 @@ def worker_main(
                 # Task body lives in a helper so its locals (arena views,
                 # fragment runs) are released as soon as it returns — the
                 # final unmap in the ``finally`` below must see no views.
-                _handle_map(worker_id, ctx, view, ring, result_queue, msg)
+                _handle_map(
+                    worker_id,
+                    ctx,
+                    view,
+                    ring,
+                    mesh,
+                    write_timeout,
+                    result_queue,
+                    msg,
+                )
+            elif kind == "mesh_relay":
+                # Parent-relayed oversized record; counts toward the
+                # frame watermark like any edge record.
+                _, seq, ci, part, run = msg
+                mesh.stash_relay(seq, ci, part, run)
             elif kind == "reduce":
                 # Worker-side Sort+Reduce of the partitions this worker
-                # owns; the payload is parent-copied memory, never arena
-                # views, so it is ordering-safe w.r.t. arena republish.
-                _handle_reduce(worker_id, ctx, result_queue, msg)
+                # owns; parent-plane payloads are parent-copied memory,
+                # mesh payloads live in this worker's stash — neither is
+                # an arena view, so both are ordering-safe w.r.t. arena
+                # republish.
+                _handle_reduce(worker_id, ctx, mesh, result_queue, msg)
             else:
                 result_queue.put(
                     (
@@ -320,4 +467,7 @@ def worker_main(
         _evict_seeded(seeded)
         if view is not None:
             view.close()
-        ring.close()
+        if mesh is not None:
+            mesh.close()
+        if ring is not None:
+            ring.close()

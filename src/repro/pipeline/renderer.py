@@ -110,6 +110,19 @@ class MapReduceVolumeRenderer:
         ships back composited pixel spans — the paper's symmetric
         layout).  Bitwise-identical output either way; ignored by the
         in-process executor, which is its own single device.
+    shuffle_mode:
+        Which shuffle plane moves fragment runs between pool processes:
+        ``"parent"`` (runs route through the parent, the PR-2/3
+        layout), ``"mesh"`` (direct worker↔worker shared-memory edge
+        rings — the paper's GPUs exchanging fragments over the
+        interconnect, parent demoted to a pure control plane), or
+        ``"auto"`` (default: mesh exactly when workers reduce).
+        Bitwise-identical output either way.
+    pin_workers:
+        Opt-in NUMA/core pinning for pool workers: each worker is
+        pinned to a distinct core before allocating its inbound mesh
+        edges.  No-op with a warning when affinity is unavailable or
+        cores < workers.
     pipeline_depth:
         Max frames in flight for the pool executor's async
         :meth:`submit_frame`/:meth:`collect_frame` pipeline (used by
@@ -143,6 +156,8 @@ class MapReduceVolumeRenderer:
         workers: Optional[int] = None,
         reduce_mode: str = "parent",
         pipeline_depth: int = 1,
+        shuffle_mode: str = "auto",
+        pin_workers: bool = False,
         accel: Optional[str] = None,
         macro_cell_size: Optional[int] = None,
     ):
@@ -172,11 +187,15 @@ class MapReduceVolumeRenderer:
             raise ValueError(f"unknown executor {executor!r}")
         if reduce_mode not in ("parent", "worker"):
             raise ValueError(f"unknown reduce_mode {reduce_mode!r}")
+        if shuffle_mode not in ("auto", "parent", "mesh"):
+            raise ValueError(f"unknown shuffle_mode {shuffle_mode!r}")
         if pipeline_depth < 1:
             raise ValueError("pipeline depth must be at least 1")
         self.executor = executor
         self.workers = workers
         self.reduce_mode = reduce_mode
+        self.shuffle_mode = shuffle_mode
+        self.pin_workers = bool(pin_workers)
         self.pipeline_depth = int(pipeline_depth)
         self._exec_instance = None
 
@@ -209,6 +228,8 @@ class MapReduceVolumeRenderer:
                     config=self.job_config,
                     reduce_mode=self.reduce_mode,
                     pipeline_depth=self.pipeline_depth,
+                    shuffle_mode=self.shuffle_mode,
+                    pin_workers=self.pin_workers,
                 )
             else:
                 self._exec_instance = InProcessExecutor(self.job_config)
@@ -219,6 +240,15 @@ class MapReduceVolumeRenderer:
         """Worker count of the active executor (None when serial or not
         yet instantiated) — what a pool render actually ran with."""
         return getattr(self._exec_instance, "workers", None)
+
+    @property
+    def executor_shuffle_mode(self) -> Optional[str]:
+        """Effective shuffle plane of the active executor (``"parent"``
+        or ``"mesh"``; None when serial or not yet instantiated) — the
+        plane that actually carries run bytes, which is what
+        ``JobStats.ring["shuffle_mode"]`` reports too (a mesh request
+        under parent-side reduce degenerates to ``"parent"``)."""
+        return getattr(self._exec_instance, "effective_shuffle_mode", None)
 
     def close(self) -> None:
         """Shut down the executor (worker processes, shared memory)."""

@@ -442,8 +442,12 @@ def _macro_grid_spans(
             for a in range(3):
                 lo = -np.inf if ci[a] == 0 else ci[a] * cs
                 hi = np.inf if ci[a] == gdims[a] - 1 else (ci[a] + 1) * cs
-                t1 = (lo - bw[a]) * inv[a]
-                t2 = (hi - bw[a]) * inv[a]
+                # invalid="ignore": a zero-direction lane whose constant
+                # coordinate sits exactly on a cell face computes 0·inf
+                # here; the zero-lane branch below overwrites those NaNs.
+                with np.errstate(invalid="ignore"):
+                    t1 = (lo - bw[a]) * inv[a]
+                    t2 = (hi - bw[a]) * inv[a]
                 tl = np.minimum(t1, t2)
                 th = np.maximum(t1, t2)
                 if any_zero[a]:

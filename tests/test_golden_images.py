@@ -3,11 +3,13 @@
 Small deterministic rendered fixtures (cameras × transfer functions ×
 brick layouts, float32 arrays in ``tests/golden/*.npz``) pin the exact
 output of the functional pipeline.  Every executor / reduce-mode /
-pipeline-depth combination — and every empty-space acceleration setting
-(``accel`` off / corner-max table / macro-cell grid) — must reproduce
-them **bitwise**: neither the concurrency machinery (worker scheduling,
-ring streaming, worker-side reduce placement, frame pipelining) nor the
-skip structures may leak into the image or the deterministic counters.
+shuffle-mode / pipeline-depth combination — and every empty-space
+acceleration setting (``accel`` off / corner-max table / macro-cell
+grid) — must reproduce them **bitwise**: neither the concurrency
+machinery (worker scheduling, ring streaming, worker-side reduce
+placement, the parent-routed vs mesh shuffle plane, frame pipelining)
+nor the skip structures may leak into the image or the deterministic
+counters.
 
 The pipeline is pure NumPy (float32 IEEE ops, stable sorts), so the
 fixtures are reproducible across runs and processes.  If an intentional
@@ -176,10 +178,22 @@ def test_pool_grid_accel_matches_golden(reduce_mode):
     assert_matches_golden("skull_default_az40", image2, result2)
 
 
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
 @pytest.mark.parametrize("scene", sorted(SCENES))
-def test_pool_worker_reduce_matches_golden(scene):
-    with SharedMemoryPoolExecutor(workers=2, reduce_mode="worker") as pool:
+def test_pool_worker_reduce_matches_golden(scene, shuffle_mode):
+    """Worker-side reduce over both shuffle planes: the parent-routed
+    transport and the direct worker↔worker mesh must reproduce the
+    fixtures bitwise — the plane only decides which processes the run
+    bytes traverse, never what they decode to."""
+    with SharedMemoryPoolExecutor(
+        workers=2, reduce_mode="worker", shuffle_mode=shuffle_mode
+    ) as pool:
         image, result = render_scene(scene, pool)
+        assert result.stats.ring["shuffle_mode"] == shuffle_mode
+        if shuffle_mode == "mesh":
+            # The control-plane guarantee: zero run bytes crossed the
+            # parent on the way to the reducers.
+            assert result.stats.ring["parent_run_bytes"] == 0
     assert_matches_golden(scene, image, result)
 
 
@@ -189,6 +203,18 @@ def test_pool_parent_reduce_pipelined_matches_golden():
     ) as pool:
         image, result = render_scene("skull_default_az40", pool)
     assert_matches_golden("skull_default_az40", image, result)
+
+
+def test_pool_mesh_pipelined_matches_golden():
+    """Depth-2 pipelining over the mesh plane: per-frame watermarks keep
+    interleaved in-flight frames bitwise-correct."""
+    with SharedMemoryPoolExecutor(
+        workers=2, reduce_mode="worker", shuffle_mode="mesh", pipeline_depth=2
+    ) as pool:
+        image, result = render_scene("skull_default_az40", pool)
+        image2, result2 = render_scene("skull_default_az130", pool)
+    assert_matches_golden("skull_default_az40", image, result)
+    assert_matches_golden("skull_default_az130", image2, result2)
 
 
 def test_pool_serial_fallback_matches_golden():
@@ -213,13 +239,22 @@ def test_pool_accel_matrix_matches_golden(scene, accel, reduce_mode):
 @pytest.mark.slow
 @pytest.mark.parametrize("scene", sorted(SCENES))
 @pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
 @pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
 @pytest.mark.parametrize("pipeline_depth", [1, 2])
-def test_pool_matrix_matches_golden(scene, workers, reduce_mode, pipeline_depth):
+def test_pool_matrix_matches_golden(
+    scene, workers, shuffle_mode, reduce_mode, pipeline_depth
+):
+    if shuffle_mode == "mesh" and reduce_mode == "parent":
+        pytest.skip(
+            "mesh never materializes under a parent-side reduce "
+            "(identical code path to the parent plane)"
+        )
     job = build_job(scene)
     with SharedMemoryPoolExecutor(
         workers=workers,
         reduce_mode=reduce_mode,
+        shuffle_mode=shuffle_mode,
         pipeline_depth=pipeline_depth,
     ) as pool:
         # Render the *same* job twice: the volume object (and so its

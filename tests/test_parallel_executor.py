@@ -96,19 +96,45 @@ def test_pool_matches_inprocess(workers):
     run_equivalence(workers)
 
 
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
 @pytest.mark.parametrize("workers", [1, 2])
-def test_pool_worker_reduce_matches_inprocess(workers):
-    # The paper's symmetric layout: Sort+Reduce on the owning worker.
-    run_equivalence(workers, reduce_mode="worker")
+def test_pool_worker_reduce_matches_inprocess(workers, shuffle_mode):
+    # The paper's symmetric layout: Sort+Reduce on the owning worker —
+    # over both shuffle planes (parent-routed runs vs the direct
+    # worker<->worker edge mesh).
+    run_equivalence(workers, reduce_mode="worker", shuffle_mode=shuffle_mode)
 
 
-def test_pool_worker_reduce_with_pipeline_depth_matches():
-    run_equivalence(2, reduce_mode="worker", pipeline_depth=2)
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
+def test_pool_worker_reduce_with_pipeline_depth_matches(shuffle_mode):
+    run_equivalence(
+        2, reduce_mode="worker", shuffle_mode=shuffle_mode, pipeline_depth=2
+    )
 
 
-def test_pool_worker_reduce_more_reducers_than_workers():
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
+def test_pool_worker_reduce_more_reducers_than_workers(shuffle_mode):
     # gpus=3 -> 3 reducer partitions over 2 workers: worker 0 owns {0, 2}.
-    run_equivalence(2, gpus=3, bricks_per_gpu=3, reduce_mode="worker")
+    run_equivalence(
+        2, gpus=3, bricks_per_gpu=3, reduce_mode="worker",
+        shuffle_mode=shuffle_mode,
+    )
+
+
+def test_pool_mesh_more_workers_than_reducers():
+    # 4 workers over 2 partitions: workers 2 and 3 own nothing, get no
+    # reduce message, and receive no mesh records — but still map.
+    run_equivalence(
+        4, gpus=2, bricks_per_gpu=2, reduce_mode="worker", shuffle_mode="mesh"
+    )
+
+
+def test_pool_mesh_fallback_when_record_outgrows_edge():
+    # Edges too small for any real run force every record through the
+    # parent-queue relay; results must be unchanged and counted.
+    run_equivalence(
+        2, reduce_mode="worker", shuffle_mode="mesh", mesh_edge_capacity=64
+    )
 
 
 def test_pool_rejects_bad_knobs():
@@ -116,6 +142,10 @@ def test_pool_rejects_bad_knobs():
         SharedMemoryPoolExecutor(workers=1, reduce_mode="gpu")
     with pytest.raises(ValueError, match="pipeline depth"):
         SharedMemoryPoolExecutor(workers=1, pipeline_depth=0)
+    with pytest.raises(ValueError, match="shuffle_mode"):
+        SharedMemoryPoolExecutor(workers=1, shuffle_mode="broadcast")
+    with pytest.raises(ValueError, match="ring write timeout"):
+        SharedMemoryPoolExecutor(workers=1, ring_write_timeout=0.0)
 
 
 def test_serial_fallback_matches_inprocess():
@@ -270,23 +300,28 @@ def test_pool_matches_inprocess_matrix(workers, gpus, bricks_per_gpu, ert_alpha)
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
 @pytest.mark.parametrize("workers", [1, 2, 4])
 @pytest.mark.parametrize("pipeline_depth", [1, 2, 3])
 @pytest.mark.parametrize("gpus,bricks_per_gpu", [(2, 2), (3, 3)])
-def test_pool_worker_reduce_matrix(workers, pipeline_depth, gpus, bricks_per_gpu):
+def test_pool_worker_reduce_matrix(
+    workers, pipeline_depth, gpus, bricks_per_gpu, shuffle_mode
+):
     run_equivalence(
         workers,
         gpus=gpus,
         bricks_per_gpu=bricks_per_gpu,
         reduce_mode="worker",
+        shuffle_mode=shuffle_mode,
         pipeline_depth=pipeline_depth,
     )
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
 @pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
 @pytest.mark.parametrize("workers", [1, 2, 4])
-def test_pipelined_orbit_matches_serial_matrix(reduce_mode, workers):
+def test_pipelined_orbit_matches_serial_matrix(reduce_mode, workers, shuffle_mode):
     from repro.pipeline import render_rotation
 
     r_ref, _ = make_scene()
@@ -300,6 +335,7 @@ def test_pipelined_orbit_matches_serial_matrix(reduce_mode, workers):
         executor="pool",
         workers=workers,
         reduce_mode=reduce_mode,
+        shuffle_mode=shuffle_mode,
         pipeline_depth=2,
     ) as r:
         rot = render_rotation(
@@ -408,9 +444,12 @@ class ExitMapper(Mapper):
         return self.inner.map(chunk)
 
 
-def _generic_job(mapper, n_chunks=4, n_reducers=2, seed=13):
+def _generic_job(mapper, n_chunks=4, n_reducers=2, seed=13, n_elems=32):
     rng = np.random.default_rng(seed)
-    datas = [rng.integers(0, 100, 32).astype(np.int64) for _ in range(n_chunks)]
+    datas = [
+        rng.integers(0, 100, n_elems).astype(np.int64)
+        for _ in range(n_chunks)
+    ]
     chunks = [
         Chunk(id=i, nbytes=d.nbytes, data=d) for i, d in enumerate(datas)
     ]
@@ -424,21 +463,37 @@ def _generic_job(mapper, n_chunks=4, n_reducers=2, seed=13):
     return spec, chunks
 
 
-@pytest.mark.parametrize("reduce_mode", ["parent", "worker"])
-def test_pool_worker_crash_mid_frame_teardown_and_retry(reduce_mode):
+def _all_segment_names(pool) -> list:
+    """Every shared-memory segment the pool currently holds: uplink
+    rings, the arena, and — on the mesh plane — all N×N edge rings."""
+    names = [ring.name for ring in pool._state["rings"]]
+    names.append(pool._state["arena"].name)
+    names.extend(r.name for r in pool._state.get("mesh_edges", {}).values())
+    return names
+
+
+@pytest.mark.parametrize(
+    "reduce_mode,shuffle_mode",
+    [("parent", "parent"), ("worker", "parent"), ("worker", "mesh")],
+)
+def test_pool_worker_crash_mid_frame_teardown_and_retry(reduce_mode, shuffle_mode):
     """Kill a worker mid-frame: the pool must tear down cleanly (no
-    leaked shared-memory segments), and a retry on the same executor
-    must run on a fresh pool with no stale ring bytes."""
+    leaked shared-memory segments — including worker-created mesh
+    edges), and a retry on the same executor must run on a fresh pool
+    with no stale ring bytes."""
     good_spec, chunks = _generic_job(ModSquareMapper(9))
     crash_spec, _ = _generic_job(ExitMapper(kill_chunk=2))
     ref = InProcessExecutor().execute(good_spec, chunks, [0, 1, 0, 1])
-    pool = SharedMemoryPoolExecutor(workers=2, reduce_mode=reduce_mode)
+    pool = SharedMemoryPoolExecutor(
+        workers=2, reduce_mode=reduce_mode, shuffle_mode=shuffle_mode
+    )
     try:
         # Warm frame: creates rings + arena whose names we can audit.
         got = pool.execute(good_spec, chunks, [0, 1, 0, 1])
         assert_results_identical(ref, got)
-        names = [ring.name for ring in pool._state["rings"]]
-        names.append(pool._state["arena"].name)
+        names = _all_segment_names(pool)
+        if shuffle_mode == "mesh":
+            assert len(pool._state["mesh_edges"]) == 2  # 2 workers -> 2 edges
 
         with pytest.raises(RuntimeError, match="died during execute"):
             pool.execute(crash_spec, chunks, [0, 1, 0, 1])
@@ -455,22 +510,23 @@ def test_pool_worker_crash_mid_frame_teardown_and_retry(reduce_mode):
 
 
 @pytest.mark.slow
-def test_pool_crash_soak_pipelined():
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
+def test_pool_crash_soak_pipelined(shuffle_mode):
     """Soak: interleave pipelined frames with a mid-flight worker crash
     repeatedly; every recovery must produce bitwise-correct results and
-    release every shared-memory segment."""
+    release every shared-memory segment — on both shuffle planes."""
     good_spec, chunks = _generic_job(ModSquareMapper(9), n_chunks=6)
     crash_spec, _ = _generic_job(ExitMapper(kill_chunk=4), n_chunks=6)
     ref = InProcessExecutor().execute(good_spec, chunks)
     with SharedMemoryPoolExecutor(
-        workers=2, reduce_mode="worker", pipeline_depth=2
+        workers=2, reduce_mode="worker", shuffle_mode=shuffle_mode,
+        pipeline_depth=2,
     ) as pool:
         for _ in range(3):
             h1 = pool.submit(good_spec, chunks)
             h2 = pool.submit(good_spec, chunks)
             assert_results_identical(ref, pool.collect(h1))
-            names = [r.name for r in pool._state["rings"]]
-            names.append(pool._state["arena"].name)
+            names = _all_segment_names(pool)
             with pytest.raises(RuntimeError):
                 pool.collect(pool.submit(crash_spec, chunks))
             assert not pool.running
@@ -645,6 +701,7 @@ def test_ring_backpressure_counters():
             "stall_seconds": 0.0,
             "stall_events": 0,
             "high_water_bytes": 0,
+            "written_bytes": 0,
         }
         ring.write_bytes(b"x" * 10, timeout=1.0)
         assert ring.high_water == 10
@@ -751,13 +808,17 @@ def test_arena_rejects_empty():
         ShmArena({})
 
 
-def test_pool_releases_all_segments_on_close():
+@pytest.mark.parametrize(
+    "pool_kwargs",
+    [dict(), dict(reduce_mode="worker", shuffle_mode="mesh")],
+    ids=["parent", "mesh"],
+)
+def test_pool_releases_all_segments_on_close(pool_kwargs):
     r, cam = make_scene()
     chunks, ctg = scene_job(r, cam)
-    pool = SharedMemoryPoolExecutor(workers=2)
+    pool = SharedMemoryPoolExecutor(workers=2, **pool_kwargs)
     pool.execute(r._spec(cam), chunks, ctg)
-    names = [ring.name for ring in pool._state["rings"]]
-    names.append(pool._state["arena"].name)
+    names = _all_segment_names(pool)
     pool.close()
     for name in names:
         assert not shm_segment_exists(name), f"leaked segment {name}"
