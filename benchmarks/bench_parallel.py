@@ -88,6 +88,9 @@ def main(argv=None) -> int:
                     help="simulated GPU count (drives brick count/placement)")
     ap.add_argument("--frames", type=int, default=6, help="orbit frames per row")
     ap.add_argument("--image", type=int, default=160, help="image edge (pixels)")
+    ap.add_argument("--fault-plan", default="crash@map:worker=0,frame=2",
+                    help="fault plan for the recovery smoke row (see "
+                         "repro.parallel.faults); 'none' skips the row")
     args = ap.parse_args(argv)
     sweep_workers = [int(w) for w in args.workers.split(",") if w]
     sweep_modes = [m.strip() for m in args.reduce_modes.split(",") if m.strip()]
@@ -184,6 +187,56 @@ def main(argv=None) -> int:
         if ref:
             row["speedup_vs_1_worker"] = round(row["fps"] / ref, 3)
 
+    # Recovery smoke row: one orbit with a deterministically injected
+    # worker crash.  Not a scaling measurement — it records what a
+    # failure *costs* (respawn latency, frames re-executed, FPS under
+    # recovery) and re-asserts the recovered images stay bitwise equal
+    # to the serial baseline.
+    fault_smoke = None
+    if args.fault_plan and args.fault_plan.lower() != "none":
+        f_workers = min(2, max(sweep_workers)) if sweep_workers else 2
+        f_mode = "worker" if "worker" in sweep_modes else sweep_modes[0]
+        f_shuffle = (
+            "mesh"
+            if "mesh" in sweep_shuffles and f_mode == "worker"
+            else "parent"
+        )
+        with make_renderer(
+            executor="pool", workers=f_workers, reduce_mode=f_mode,
+            shuffle_mode=f_shuffle, fault_plan=args.fault_plan,
+        ) as r:
+            fps, elapsed, rot = orbit_fps(
+                r, args.frames, args.image, keep_images=True
+            )
+            snap = r._exec_instance._supervisor.snapshot()
+        for img_pool, img_base in zip(rot.images, base_rot.images):
+            assert np.array_equal(img_pool, img_base), (
+                "recovered pool image diverged from the serial baseline"
+            )
+        assert snap["respawns"] >= 1, (
+            f"fault plan {args.fault_plan!r} never fired during the orbit"
+        )
+        fault_smoke = {
+            "fault_plan": args.fault_plan,
+            "workers": f_workers,
+            "reduce_mode": f_mode,
+            "shuffle_mode": f_shuffle,
+            "frames": args.frames,
+            "fps_under_recovery": round(fps, 3),
+            "failures": snap["failures"],
+            "respawns": snap["respawns"],
+            "respawn_latency_s": round(snap["respawn_seconds"], 4),
+            "frames_reexecuted": snap["frames_reexecuted"],
+            "retries_by_stage": snap["retries_by_stage"],
+            "degraded_events": snap["degraded_events"],
+            "serial_fallback": snap["serial_fallback"],
+        }
+        print(f"fault smoke [{args.fault_plan}] workers={f_workers} "
+              f"reduce={f_mode} shuffle={f_shuffle}: {fps:6.2f} FPS, "
+              f"{snap['respawns']} respawn(s) in "
+              f"{snap['respawn_seconds'] * 1e3:.1f} ms, "
+              f"{snap['frames_reexecuted']} frame(s) re-executed")
+
     report = {
         "benchmark": "shared-memory pool executor scaling sweep "
                      "(workers x reduce_mode x shuffle_mode x pipeline_depth)",
@@ -209,6 +262,7 @@ def main(argv=None) -> int:
         },
         "inprocess_fps": round(base_fps, 3),
         "results": rows,
+        "fault_smoke": fault_smoke,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

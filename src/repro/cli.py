@@ -74,6 +74,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(os.sched_setaffinity) before it allocates its "
                         "inbound mesh rings; warns and no-ops when "
                         "affinity is unavailable or cores < workers")
+    r.add_argument("--supervise", dest="supervise", action="store_true",
+                   default=True,
+                   help="recover pool infrastructure failures in place: "
+                        "respawn dead/wedged workers, re-execute in-flight "
+                        "frames bitwise-identically, and degrade (fewer "
+                        "workers, then serial) when retries are exhausted "
+                        "(default)")
+    r.add_argument("--no-supervise", dest="supervise", action="store_false",
+                   help="disable supervision: any pool failure tears the "
+                        "pool down and propagates (the legacy fail-fast "
+                        "behaviour)")
+    r.add_argument("--max-frame-retries", type=int, default=None,
+                   help="recovery attempts per frame at each pool width "
+                        "before the supervisor degrades the pool "
+                        "(default $REPRO_MAX_FRAME_RETRIES or 2)")
+    r.add_argument("--fault-plan", default=None,
+                   help="deterministic fault injection for pool workers, "
+                        "e.g. 'crash@map:worker=1,frame=2' or "
+                        "'stall(5)@reduce;exit(3)@shuffle-out:chunk=0' "
+                        "(testing/bench hook; see repro.parallel.faults)")
     r.add_argument("--accel", default="grid", choices=["grid", "table", "off"],
                    help="empty-space skipping: 'grid' carves whole "
                         "transparent spans per ray via a macro-cell min/max "
@@ -143,13 +163,18 @@ def _cmd_render(args) -> int:
         pipeline_depth=args.pipeline_depth,
         shuffle_mode=args.shuffle_mode,
         pin_workers=args.pin_workers,
+        supervise=args.supervise,
+        max_frame_retries=args.max_frame_retries,
+        fault_plan=args.fault_plan,
     ) as renderer:
         result = renderer.render(camera, mode="both")
         backend = args.executor
+        recovery_lines = []
         if backend == "pool":
             backend = (f"pool ({renderer.executor_workers} workers, "
                        f"{args.reduce_mode} reduce, "
                        f"{renderer.executor_shuffle_mode} shuffle)")
+            recovery_lines = renderer.executor_recovery_summary
     write_ppm(args.out, result.image)
     sb = result.outcome.breakdown
     print(f"rendered {args.dataset} {volume.resolution_label()} on "
@@ -157,6 +182,8 @@ def _cmd_render(args) -> int:
           f"{backend} executor) -> {args.out}")
     print(f"simulated stages: map={sb.map:.4f}s partition+io={sb.partition_io:.4f}s "
           f"sort={sb.sort:.4f}s reduce={sb.reduce:.4f}s total={sb.total:.4f}s")
+    for line in recovery_lines:
+        print(f"recovery: {line}")
     return 0
 
 

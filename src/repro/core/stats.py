@@ -32,6 +32,13 @@ class JobStats:
     # they are deliberately excluded from as_dict(), which reports only
     # the deterministic counters the executor-parity contract covers.
     ring: Optional[dict] = field(default=None, repr=False, compare=False)
+    # Supervision/recovery ledger, filled by the pool executor only when
+    # a failure was actually recovered (failure-free runs leave it None):
+    # respawn waves and their latency, re-executed frames, per-stage
+    # retry counts, degradation steps.  Timing-dependent like `ring`, so
+    # excluded from as_dict() — recovered frames are bitwise-identical,
+    # and the parity contract must not see how bumpy the road was.
+    recovery: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def add_map(self, work: dict[str, int], emitted: int, kept: int) -> None:
         self.n_chunks += 1

@@ -56,8 +56,19 @@ bitwise-identical images and counters — worker scheduling never leaks
 into the output because runs are merged in chunk order and every kernel
 is deterministic.  A ``serial=True`` mode runs the identical code path
 without processes, for tests and platforms lacking POSIX shared memory.
+
+Fault tolerance (:mod:`~repro.parallel.supervise`): the executor
+supervises its workers — a process dying mid-frame or a wedged
+transport recycles the transport epoch in place (the arena survives and
+is re-attached by name), re-executes the in-flight frames
+bitwise-identically, and degrades (shrink the pool, then fall back to
+the serial executor) when retries are exhausted.
+:mod:`~repro.parallel.faults` is the deterministic fault-injection
+harness (``fault_plan=`` / ``$REPRO_FAULT_PLAN``) that drives crash,
+exit, and stall faults at exact (stage, worker, frame, chunk) points.
 """
 
+from .faults import ENV_FAULT_PLAN, FaultPlan, FaultRule
 from .merge import merge_partition_runs, split_runs
 from .pool import (
     PendingFrame,
@@ -69,26 +80,42 @@ from .pool import (
 from .ring import RingTimeout, ShmRing
 from .shm import ArenaSpec, ArenaView, ShmArena, shm_segment_exists
 from .shuffle import (
+    DEFAULT_MAX_FRAME_RETRIES,
+    DEFAULT_RETRY_BACKOFF,
     DEFAULT_RING_WRITE_TIMEOUT,
+    ENV_MAX_FRAME_RETRIES,
+    ENV_RETRY_BACKOFF,
     ENV_RING_WRITE_TIMEOUT,
     ENV_SHUFFLE_MODE,
+    ENV_WATERMARK_TIMEOUT,
     MeshShuffle,
     ParentRoutedShuffle,
     WorkerMesh,
 )
+from .supervise import PoolFailure, PoolSupervisor
 from .worker import FrameContext, map_chunk_to_runs
 
 __all__ = [
     "ArenaSpec",
     "ArenaView",
+    "DEFAULT_MAX_FRAME_RETRIES",
+    "DEFAULT_RETRY_BACKOFF",
     "DEFAULT_RING_WRITE_TIMEOUT",
+    "ENV_FAULT_PLAN",
+    "ENV_MAX_FRAME_RETRIES",
+    "ENV_RETRY_BACKOFF",
     "ENV_RING_WRITE_TIMEOUT",
     "ENV_SHUFFLE_MODE",
+    "ENV_WATERMARK_TIMEOUT",
+    "FaultPlan",
+    "FaultRule",
     "FrameContext",
     "MeshShuffle",
     "ParentRoutedShuffle",
     "PendingFrame",
     "PoolConfig",
+    "PoolFailure",
+    "PoolSupervisor",
     "default_pool_workers",
     "RingTimeout",
     "SharedMemoryPoolExecutor",

@@ -91,6 +91,22 @@ unavailable or there are fewer cores than workers.
 ``serial=True`` executes the identical worker code path in-process with
 no processes or shared memory — the deterministic fallback used by the
 equivalence tests and by platforms without POSIX shared memory.
+
+Supervision (``supervise=True``, the default; see
+:mod:`repro.parallel.supervise`): infrastructure failures — a worker
+process dying mid-frame, a wedged ring/edge, an expired frame
+watermark — are detected by the parent's watchdog, the transport epoch
+is recycled *in place* (the shared-memory arena survives and is
+re-attached by name), and the in-flight frames are re-executed
+bitwise-identically.  Repeated failures walk a degradation ladder:
+``max_frame_retries`` attempts per frame per pool width, then the pool
+shrinks by one worker (ownership re-derives from the same static
+``partition % workers`` rule), and at the floor the remaining frames
+run on the serial in-process executor — an infrastructure failure
+degrades throughput, never correctness and never an exception.
+User-code errors stay fatal.  :mod:`repro.parallel.faults` provides
+the deterministic fault-injection harness that drives all of this in
+tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -99,6 +115,8 @@ import multiprocessing as mp
 import os
 import pickle
 import queue as queue_mod
+import threading
+import time
 import uuid
 import warnings
 import weakref
@@ -125,6 +143,13 @@ from .shuffle import (
     PoolConfig,
     mesh_edge_name,
     mesh_fd_headroom,
+)
+from .supervise import (
+    PoolFailure,
+    PoolSupervisor,
+    classify_failure,
+    dead_workers,
+    worker_error_to_exception,
 )
 from .worker import GRID_ARENA_KEY, TF_ARENA_KEY, FrameContext, worker_main
 
@@ -157,42 +182,57 @@ def _cleanup(state: dict) -> None:
     Mesh edge rings were *created* by workers but are *owned* (unlink
     duty) here: closing them after the processes are gone guarantees no
     segment outlives the pool even when a worker died mid-shuffle.
-    """
-    procs = state.pop("procs", [])
-    task_queues = state.pop("task_queues", [])
-    for q in task_queues:
-        try:
-            q.put(("stop",))
-        except Exception:
-            pass
-    for p in procs:
-        p.join(timeout=5.0)
-        if p.is_alive():  # stuck worker (e.g. blocked on a wedged edge)
-            p.terminate()
-            p.join(timeout=1.0)
-    for ring in state.pop("rings", []):
-        ring.close()
-    for ring in state.pop("mesh_edges", {}).values():
-        ring.close()  # attached with owner=True: close() unlinks
-    # Defensive sweep: edge names are deterministic (pool token + edge
-    # coordinates) and recorded *before* forking, so even a worker that
-    # died mid-handshake — before reporting anything — cannot leak the
-    # segments it had already created.
-    from multiprocessing import shared_memory
 
-    for name in state.pop("mesh_edge_names", []):
-        try:
-            seg = shared_memory.SharedMemory(name=name)
-        except FileNotFoundError:
-            continue  # never created, or already unlinked
-        seg.close()
-        try:
-            seg.unlink()
-        except FileNotFoundError:  # pragma: no cover - unlink race
-            pass
-    arena = state.pop("arena", None)
-    if arena is not None:
-        arena.close()
+    Serialized per-pool: an explicit ``close()`` can race the GC
+    finalizer (or a second ``close()`` from another thread), and both
+    must not interleave the pop-then-teardown of the same resources.
+    The lock lives *in the state dict* so the weakref finalizer and
+    every explicit caller share it without holding the executor alive.
+    ``state["join_timeout"]`` (default 5 s) bounds the graceful drain —
+    the supervisor's recovery path shortens it because a worker stalled
+    by an injected fault will never drain voluntarily.
+    """
+    lock = state.setdefault("_lock", threading.Lock())
+    with lock:
+        procs = state.pop("procs", [])
+        task_queues = state.pop("task_queues", [])
+        join_timeout = float(state.get("join_timeout", 5.0))
+        for q in task_queues:
+            try:
+                q.put(("stop",))
+            except Exception:
+                pass
+        for p in procs:
+            p.join(timeout=join_timeout)
+            if p.is_alive():  # stuck worker (e.g. blocked on a wedged edge)
+                p.terminate()  # SIGTERM → worker's graceful-exit handler
+                p.join(timeout=2.0)
+            if p.is_alive():  # ignoring SIGTERM (masked or wedged in C)
+                p.kill()
+                p.join(timeout=1.0)
+        for ring in state.pop("rings", []):
+            ring.close()
+        for ring in state.pop("mesh_edges", {}).values():
+            ring.close()  # attached with owner=True: close() unlinks
+        # Defensive sweep: edge names are deterministic (pool token +
+        # edge coordinates) and recorded *before* forking, so even a
+        # worker that died mid-handshake — before reporting anything —
+        # cannot leak the segments it had already created.
+        from multiprocessing import shared_memory
+
+        for name in state.pop("mesh_edge_names", []):
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue  # never created, or already unlinked
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - unlink race
+                pass
+        arena = state.pop("arena", None)
+        if arena is not None:
+            arena.close()
 
 
 class PendingFrame:
@@ -224,6 +264,7 @@ class PendingFrame:
         "pairs_per_reducer",
         "reduced_received",
         "result",
+        "retries",
     )
 
     def __init__(
@@ -253,10 +294,35 @@ class PendingFrame:
         self.pairs_per_reducer = np.zeros(spec.n_reducers, dtype=np.int64)
         self.reduced_received = 0
         self.result = result
+        self.retries = 0  # recovery re-executions of this frame so far
 
     @property
     def done(self) -> bool:
         return self.result is not None
+
+    def reset_for_retry(self) -> None:
+        """Rewind every partial counter so the frame can be re-executed.
+
+        The supervisor calls this before replaying the frame on a fresh
+        transport epoch: all map results, buffered runs, and reduced
+        spans drain from the *new* processes, so nothing from the failed
+        attempt may be left behind to double-count.  Chunks and spec are
+        retained (the handle stays valid), only progress is discarded.
+        """
+        n = self.n
+        self.runs_per_chunk = [None] * n
+        self.emitted_per_chunk = [0] * n
+        self.kept_per_chunk = [0] * n
+        self.work_per_chunk = [None] * n
+        self.routed_per_chunk = [None] * n
+        self.map_received = 0
+        self.queue_fallbacks = 0
+        self.parent_run_bytes = 0
+        self.sealed = False
+        self.outputs = [None] * self.spec.n_reducers
+        self.pairs_per_reducer = np.zeros(self.spec.n_reducers, dtype=np.int64)
+        self.reduced_received = 0
+        self.retries += 1
 
 
 class SharedMemoryPoolExecutor:
@@ -297,11 +363,39 @@ class SharedMemoryPoolExecutor:
         Opt-in NUMA/core pinning (see module docstring).
     ring_write_timeout:
         Seconds a blocked ring/edge write may wait before the pool is
-        declared wedged and torn down; ``None`` reads
-        ``$REPRO_RING_WRITE_TIMEOUT`` (default 300).
+        declared wedged; ``None`` reads ``$REPRO_RING_WRITE_TIMEOUT``
+        (default 300).
     mesh_edge_capacity:
         Per-edge mesh ring bytes (default ``ring_capacity // workers``,
         floor 64 KiB).
+    watermark_timeout:
+        Seconds a mesh reducer may wait for a frame's completion
+        watermark before declaring the frame wedged; ``None`` reads
+        ``$REPRO_WATERMARK_TIMEOUT`` and falls back to the ring write
+        timeout.
+    supervise:
+        When True (the default), infrastructure failures — a dead
+        worker process, a wedged transport timeout — are *recovered*:
+        the transport epoch is recycled in place, in-flight frames are
+        re-executed (bitwise-identically), and repeated failures walk a
+        degradation ladder (shrink the pool, then fall back to the
+        serial executor) instead of erroring.  ``supervise=False``
+        restores the legacy semantics: any failure tears the pool down
+        and propagates.  User-code exceptions (a mapper/reducer raise)
+        are *never* retried under either setting — retrying a
+        deterministic bug burns the retry budget to reproduce it.
+    max_frame_retries:
+        Recovery attempts per frame at a given pool width before the
+        degradation ladder steps down; ``None`` reads
+        ``$REPRO_MAX_FRAME_RETRIES`` (default 2).
+    retry_backoff:
+        Base seconds of exponential backoff between recovery attempts;
+        ``None`` reads ``$REPRO_RETRY_BACKOFF`` (default 0.05).
+    fault_plan:
+        Deterministic fault-injection plan for the workers (see
+        :mod:`repro.parallel.faults` for the grammar); ``None`` reads
+        ``$REPRO_FAULT_PLAN``.  Testing/benchmark hook — production
+        pools leave it unset.
     pool_config:
         A :class:`~repro.parallel.shuffle.PoolConfig` supplying the
         transport defaults; the explicit keyword arguments above
@@ -321,6 +415,11 @@ class SharedMemoryPoolExecutor:
         pin_workers: Optional[bool] = None,
         ring_write_timeout: Optional[float] = None,
         mesh_edge_capacity: Optional[int] = None,
+        watermark_timeout: Optional[float] = None,
+        supervise: Optional[bool] = None,
+        max_frame_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        fault_plan: Optional[str] = None,
         pool_config: Optional[PoolConfig] = None,
     ):
         if workers is None:
@@ -340,6 +439,11 @@ class SharedMemoryPoolExecutor:
                 "pin_workers": pin_workers,
                 "ring_write_timeout": ring_write_timeout,
                 "mesh_edge_capacity": mesh_edge_capacity,
+                "watermark_timeout": watermark_timeout,
+                "supervise": supervise,
+                "max_frame_retries": max_frame_retries,
+                "retry_backoff": retry_backoff,
+                "fault_plan": fault_plan,
             }.items()
             if v is not None
         }
@@ -382,6 +486,19 @@ class SharedMemoryPoolExecutor:
             self.workers
         )
         self.pin_workers = bool(self.pool_config.pin_workers)
+        # Supervision knobs: resolved once here so a live pool's retry
+        # policy cannot flip mid-orbit via an env change.  A serial pool
+        # has no processes to supervise (and the serial path is itself
+        # the last rung of the degradation ladder).
+        self.watermark_timeout = self.pool_config.resolved_watermark_timeout()
+        self.supervise = bool(self.pool_config.supervise) and not self.serial
+        self.max_frame_retries = self.pool_config.resolved_max_frame_retries()
+        self.retry_backoff = self.pool_config.resolved_retry_backoff()
+        self.fault_plan = self.pool_config.resolved_fault_plan()
+        self._supervisor = PoolSupervisor()
+        self._spawn_gen = 0  # spawn waves so far; fault rules key on it
+        self._degraded_serial = False  # ladder hit the floor: serial only
+        self._arena_rebroadcast = False  # fresh wave must re-attach arena
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -497,15 +614,24 @@ class SharedMemoryPoolExecutor:
                 for j in range(self.workers)
                 if i != j
             ]
+        spawn_gen = self._spawn_gen
+        self._spawn_gen += 1
         procs = []
         for wi in range(self.workers):
             cfg = {
                 "pin_cpu": pins[wi],
                 "write_timeout": self.ring_write_timeout,
+                "watermark_timeout": self.watermark_timeout,
                 "mesh_active": mesh_active,
                 "n_workers": self.workers,
                 "edge_capacity": self.mesh_edge_capacity,
                 "mesh_token": mesh_token,
+                "fault_plan": self.fault_plan,
+                # Fault rules default to generation 0, so a respawned
+                # wave does not re-trip the fault that killed its
+                # predecessor (gen=any opts into exactly that, to
+                # drive the degradation ladder in tests).
+                "spawn_gen": spawn_gen,
             }
             p = self._ctx.Process(
                 target=worker_main,
@@ -535,13 +661,187 @@ class SharedMemoryPoolExecutor:
         """Shut the pool down and release every shared-memory segment.
 
         Frames still in flight are aborted: collecting their handles
-        afterwards raises.
+        afterwards raises.  Idempotent and safe to race from multiple
+        threads (or against the GC finalizer): teardown is serialized
+        by a lock inside the shared state dict and every resource is
+        claimed by ``pop``, so each segment/process is torn down by
+        exactly one caller and the rest see already-empty state.
         """
         _cleanup(self._state)
         self._arena_fingerprint = None
         self._result_queue = None
         self._pending.clear()
         self._plane = None
+
+    def _teardown_transport(self, join_timeout: float = 1.0) -> None:
+        """Recycle the transport epoch, *keeping* the published arena.
+
+        Recovery's fault domain is the whole transport — processes,
+        queues, uplink rings, mesh edges — because SPSC cursor state
+        cannot be rewound for a single lost peer.  The arena is popped
+        around the sweep so the expensive brick/TF segments survive;
+        the fingerprint stays valid, so replay re-publishes nothing
+        and the fresh wave re-attaches by name.  ``join_timeout`` is
+        short: a worker wedged or stalled by a fault will never drain
+        voluntarily, so escalate to SIGTERM/SIGKILL quickly.
+        """
+        arena = self._state.pop("arena", None)
+        self._state["join_timeout"] = join_timeout
+        try:
+            _cleanup(self._state)
+        finally:
+            self._state.pop("join_timeout", None)
+            if arena is not None:
+                self._state["arena"] = arena
+                # The next publish against a fresh wave must re-send the
+                # kept arena's spec even when the fingerprint matches.
+                self._arena_rebroadcast = True
+        self._result_queue = None
+        self._plane = None
+
+    # -- supervision & recovery --------------------------------------------
+    def _run_pipeline_op(self, op, serial_fallback):
+        """Run one pipeline operation under the supervisor.
+
+        ``op`` is a re-runnable closure (a submit enqueue or a collect
+        drain).  On an *infrastructure* failure — dead worker, wedged
+        transport — the supervisor recycles the transport epoch and
+        replays the in-flight frames, then ``op`` is retried against
+        the fresh pool.  On any other exception (user code, interrupt,
+        protocol violation) or with ``supervise=False``, the historical
+        semantics hold: full teardown, propagate.  When the degradation
+        ladder bottoms out in serial execution, ``serial_fallback``
+        produces the operation's result without any pool at all.
+        """
+        while True:
+            try:
+                return op()
+            except BaseException as exc:
+                failure = classify_failure(exc) if self.supervise else None
+                if failure is None:
+                    # Leftover ring bytes or queue messages from a
+                    # partially-drained frame must never pair with a
+                    # later frame's chunks: tear everything down.
+                    self.close()
+                    raise
+                self._recover(failure)
+                if self._degraded_serial:
+                    return serial_fallback()
+
+    def _recover(self, failure: PoolFailure) -> None:
+        """Quarantine the failed transport epoch and re-execute frames.
+
+        The bounded-retry ladder: each in-flight frame gets
+        ``max_frame_retries`` recovery attempts at the current pool
+        width; exhausting them steps the width down by one (the static
+        ``partition % n_workers`` ownership contract re-owns every
+        partition deterministically, so results cannot change); at
+        width zero the pool stops pretending and runs the remaining
+        frames through the serial in-process executor — the pipeline
+        *degrades*, it never errors, for infrastructure failures.
+        Exponential backoff between attempts gives a transiently sick
+        host (OOM-killer sweeps, cgroup pressure) room to breathe.
+        """
+        attempt = 0
+        while True:
+            self._supervisor.record_failure(failure)
+            frames = [f for f in self._pending.values() if not f.done]
+            # Recycle the whole transport epoch: processes, queues,
+            # rings, edges.  The arena survives (see _teardown_transport).
+            self._teardown_transport()
+            spent = max((f.retries for f in frames), default=attempt)
+            if spent >= self.max_frame_retries:
+                if self.workers > 1:
+                    old = self.workers
+                    self.workers = old - 1
+                    self.mesh_edge_capacity = (
+                        self.pool_config.resolved_edge_capacity(self.workers)
+                    )
+                    self._supervisor.record_degraded(old, self.workers)
+                    for f in frames:
+                        f.retries = 0  # fresh budget at the new width
+                else:
+                    # The ladder's floor: no healthy width left.  The
+                    # serial executor is the identical algorithm with no
+                    # transport to fail, so finish the frames there.
+                    self._supervisor.record_serial_fallback()
+                    self._degraded_serial = True
+                    for f in sorted(frames, key=lambda f: f.seq):
+                        f.result = self._execute_serial(
+                            f.spec, f.chunks, f.chunk_to_gpu
+                        )
+                        f.result.stats.recovery = self._supervisor.snapshot(
+                            frame_retries=f.retries, workers=0
+                        )
+                        self._pending.pop(f.seq, None)
+                    self._supervisor.record_reexecuted(len(frames))
+                    return
+            if self.retry_backoff > 0:
+                time.sleep(
+                    min(self.retry_backoff * (2 ** min(attempt, 6)), 5.0)
+                )
+            attempt += 1
+            for f in frames:
+                f.reset_for_retry()
+            try:
+                t0 = time.monotonic()
+                self._ensure_started()
+                self._supervisor.record_respawn(
+                    self.workers, time.monotonic() - t0, self._spawn_gen - 1
+                )
+                self._replay(frames)
+                return
+            except BaseException as exc:
+                inner = classify_failure(exc)
+                if inner is None:  # a bug (or interrupt) inside recovery
+                    self.close()
+                    raise
+                failure = inner  # the fresh wave failed too: loop
+
+    def _replay(self, frames: Sequence[PendingFrame]) -> None:
+        """Re-enqueue ``frames`` (oldest first) on the fresh transport.
+
+        The common case re-publishes nothing: the arena survived the
+        teardown and the fingerprint still matches, so workers re-attach
+        the same segments by name.  A frame submitted against an *older*
+        arena generation (possible mid-orbit with pipeline_depth > 1)
+        repacks from its retained chunks instead — correct either way,
+        because each worker processes its queue strictly in order:
+        arena switch, then that frame's maps.
+
+        Each frame is *sealed* (its map results drained) before the next
+        frame's messages are enqueued, mirroring :meth:`submit`'s
+        drain-before-republish ordering: ``_publish`` unlinks the
+        previous arena the moment a new spec is enqueued, which is only
+        safe once every worker has provably attached it — and a drained
+        frame is exactly that proof.
+        """
+        if not frames:
+            return
+        for f in sorted(frames, key=lambda f: f.seq):
+            self._publish(f.spec, f.chunks)
+            payload = self._frame_payload(f.spec, f.n)
+            for q in self._state["task_queues"]:
+                q.put(("frame", payload))
+            for ci, chunk in enumerate(f.chunks):
+                wi = (
+                    int(f.chunk_to_gpu[ci])
+                    if f.chunk_to_gpu is not None
+                    else ci
+                ) % self.workers
+                self._state["task_queues"][wi].put(
+                    (
+                        "map",
+                        f.seq,
+                        ci,
+                        chunk.id,
+                        chunk.nbytes,
+                        chunk.on_disk,
+                        chunk.meta,
+                    )
+                )
+            self._seal(f)
+        self._supervisor.record_reexecuted(len(frames))
 
     def __enter__(self) -> "SharedMemoryPoolExecutor":
         return self
@@ -590,6 +890,22 @@ class SharedMemoryPoolExecutor:
             else None  # unknown provenance: always republish
         )
         if sig is not None and sig == self._arena_fingerprint:
+            if self._arena_rebroadcast:
+                # Recovery fast path: the arena survived the transport
+                # teardown (workers only ever *attach* it, so it was
+                # never at risk from a dead process) but the respawned
+                # wave has not seen its spec yet.  Re-send the kept spec
+                # — the workers re-attach gigabytes of bricks by name in
+                # microseconds instead of a full repack.  Sent here, not
+                # at spawn time, so it keeps the publish-path ordering
+                # guarantee: an arena spec always precedes (in the same
+                # task queue) the frame that needs it, and any *newer*
+                # arena that replaces it is only published after this
+                # frame's maps have drained.
+                arena = self._state["arena"]
+                for q in self._state["task_queues"]:
+                    q.put(("arena", arena.spec))
+                self._arena_rebroadcast = False
             return
         arrays = {c.id: c.payload() for c in chunks}
         if tf_version is not None:
@@ -618,6 +934,7 @@ class SharedMemoryPoolExecutor:
             old.close()  # attached workers keep the memory alive until
         self._state["arena"] = arena  # they process the new-arena message
         self._arena_fingerprint = sig
+        self._arena_rebroadcast = False  # fresh spec reached every queue
 
     def _frame_payload(self, spec: MapReduceSpec, n_chunks: int) -> bytes:
         """Pickle the frame context, with the TF table left in the arena.
@@ -655,17 +972,23 @@ class SharedMemoryPoolExecutor:
         enforces the ``pipeline_depth`` cap by force-collecting the
         oldest frames (their handles return the cached result).
 
-        Any failure to keep the pipeline consistent — a worker-reported
-        error, a ring timeout, a dead worker, Ctrl-C — tears the whole
-        pool down on the way out: leftover ring bytes or queue messages
-        from a partially-drained frame must never be paired with a later
-        frame's chunks.  The next call starts from fresh processes.
+        Failure semantics: under supervision (the default), an
+        infrastructure failure — a dead worker, a wedged transport —
+        recycles the transport epoch in place, replays the in-flight
+        frames, and retries; user-code errors (and
+        ``supervise=False``) keep the legacy behaviour of tearing the
+        whole pool down on the way out, because leftover ring bytes or
+        queue messages from a partially-drained frame must never be
+        paired with a later frame's chunks.
         """
-        if self.serial or len(chunks) == 0:
+        if self.serial or self._degraded_serial or len(chunks) == 0:
             # Zero chunks means nothing to fan out (and nothing to put in
             # an arena); the serial path returns the same empty-job result
-            # InProcessExecutor produces.
+            # InProcessExecutor produces.  A pool degraded to the serial
+            # floor routes every subsequent frame here too.
             result = self._execute_serial(spec, chunks, chunk_to_gpu)
+            if self._degraded_serial and self._supervisor.active:
+                result.stats.recovery = self._supervisor.snapshot(workers=0)
             self._seq += 1
             return PendingFrame(
                 self._seq, spec, chunks, chunk_to_gpu, result=result
@@ -673,19 +996,18 @@ class SharedMemoryPoolExecutor:
         ids = [c.id for c in chunks]
         if len(set(ids)) != len(ids):
             raise ValueError("chunk ids must be unique for the pool executor")
-        try:
+
+        def op() -> PendingFrame:
             self._ensure_started()
-            for frame in list(self._pending.values()):
-                self._seal(frame)
+            for f in list(self._pending.values()):
+                self._seal(f)
             while len(self._pending) >= self.pipeline_depth:
                 self._collect_oldest()
             self._publish(spec, chunks)
             payload = self._frame_payload(spec, len(chunks))
             for q in self._state["task_queues"]:
                 q.put(("frame", payload))
-            self._seq += 1
-            frame = PendingFrame(self._seq, spec, chunks, chunk_to_gpu)
-            self._pending[frame.seq] = frame
+            frame = PendingFrame(self._seq + 1, spec, chunks, chunk_to_gpu)
             for ci, chunk in enumerate(chunks):
                 wi = (
                     int(chunk_to_gpu[ci]) if chunk_to_gpu is not None else ci
@@ -701,10 +1023,23 @@ class SharedMemoryPoolExecutor:
                         chunk.meta,
                     )
                 )
+            # Register (and burn the seq) only once every message is
+            # enqueued: if anything above failed, the partial messages
+            # died with the recycled transport and op re-runs cleanly
+            # from scratch without replaying a half-submitted frame.
+            self._seq += 1
+            self._pending[frame.seq] = frame
             return frame
-        except BaseException:
-            self.close()
-            raise
+
+        def fallback() -> PendingFrame:
+            result = self._execute_serial(spec, chunks, chunk_to_gpu)
+            result.stats.recovery = self._supervisor.snapshot(workers=0)
+            self._seq += 1
+            return PendingFrame(
+                self._seq, spec, chunks, chunk_to_gpu, result=result
+            )
+
+        return self._run_pipeline_op(op, fallback)
 
     def collect(self, frame: PendingFrame) -> InProcessResult:
         """Finish ``frame`` and return its result.
@@ -722,11 +1057,10 @@ class SharedMemoryPoolExecutor:
                     "frame was aborted by a pool shutdown before it "
                     "could be collected"
                 )
-            try:
-                self._collect_oldest()
-            except BaseException:
-                self.close()
-                raise
+            # If recovery bottoms out in serial execution, _recover has
+            # already finished every pending frame (including this one),
+            # so the fallback has nothing left to do.
+            self._run_pipeline_op(self._collect_oldest, lambda: None)
         return frame.result
 
     # -- execution ---------------------------------------------------------
@@ -764,11 +1098,13 @@ class SharedMemoryPoolExecutor:
         try:
             return self._result_queue.get(timeout=timeout)
         except queue_mod.Empty:
-            procs = self._state.get("procs", [])
-            dead = [p.name for p in procs if not p.is_alive()]
+            dead = dead_workers(self._state.get("procs", []))
             if dead:
-                raise RuntimeError(
-                    f"pool worker(s) died during execute: {dead}"
+                names = [name for name, _ in dead]
+                raise PoolFailure(
+                    f"pool worker(s) died during execute: {names}",
+                    kind="worker-death",
+                    workers=names,
                 )
             return None
 
@@ -779,11 +1115,11 @@ class SharedMemoryPoolExecutor:
             return
         kind = msg[0]
         if kind == "error":
-            _, wi, what, tb = msg
-            raise RuntimeError(
-                f"task failure in the worker pool "
-                f"[{what} on worker {wi}]:\n{tb}"
-            )
+            # Workers tag errors with the exception type name so the
+            # parent can tell infrastructure failures (RingTimeout — a
+            # wedge, recoverable) from user-code bugs (fatal).
+            _, wi, what, tb, etype = msg
+            raise worker_error_to_exception(wi, what, tb, etype)
         if kind == "done":
             (_, wi, seq, ci, emitted, kept, work, routed, ring_nbytes,
              inline, fallbacks) = msg
@@ -844,6 +1180,10 @@ class SharedMemoryPoolExecutor:
                 )
             )
         stats.ring = self._plane.frame_stats(frame)
+        if self._supervisor.active:
+            stats.recovery = self._supervisor.snapshot(
+                frame_retries=frame.retries, workers=self.workers
+            )
         frame.result = InProcessResult(
             outputs=outputs,
             stats=stats,

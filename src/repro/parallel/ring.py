@@ -73,6 +73,7 @@ class ShmRing:
         self._shm = shm
         self._owner = owner
         self._closed = False
+        self._open = True  # claimed (popped) by exactly one close()
         self._header = np.frombuffer(
             shm.buf, dtype=np.uint64, count=_HEADER_WORDS
         )
@@ -292,8 +293,19 @@ class ShmRing:
             time.sleep(_POLL_SECONDS)
 
     def close(self) -> None:
-        """Detach (and unlink, if this side created the segment)."""
-        if self._closed:
+        """Detach (and unlink, if this side created the segment).
+
+        Safe against concurrent double-close: an explicit executor
+        ``close()`` can race the GC finalizer's teardown sweep, so the
+        closed flag is claimed atomically (under the GIL) before any
+        state is torn down — the loser of the race returns immediately
+        instead of unmapping a half-dismantled ring.
+        """
+        try:
+            # dict.pop is atomic under the GIL: exactly one caller wins
+            # the claim, everyone else sees KeyError and returns.
+            self.__dict__.pop("_open")
+        except KeyError:
             return
         self._closed = True
         # Views pin shm.buf; drop them before closing the mapping.

@@ -59,7 +59,11 @@ large for its edge falls back to the parent queue (relayed to the
 owner, counted in ``queue_fallbacks``) instead of deadlocking.  A
 truly wedged edge (dead peer) surfaces as a
 :class:`~repro.parallel.ring.RingTimeout` after the configurable
-``ring_write_timeout``, which tears the whole pool down.
+``ring_write_timeout`` (and an incomplete frame watermark after
+``watermark_timeout``), which hands the failure to the executor's
+supervision layer (:mod:`repro.parallel.supervise`): the transport
+epoch is recycled and the affected frames re-execute bitwise-identically
+— or, with ``supervise=False``, the whole pool tears down as before.
 """
 
 from __future__ import annotations
@@ -72,13 +76,21 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.executors import ShuffleSpec
+from .faults import ENV_FAULT_PLAN, resolve_fault_plan
 from .merge import split_runs
 from .ring import _POLL_SECONDS, RingTimeout, ShmRing
+from .supervise import worker_error_to_exception
 
 __all__ = [
+    "DEFAULT_MAX_FRAME_RETRIES",
+    "DEFAULT_RETRY_BACKOFF",
     "DEFAULT_RING_WRITE_TIMEOUT",
+    "ENV_FAULT_PLAN",
+    "ENV_MAX_FRAME_RETRIES",
+    "ENV_RETRY_BACKOFF",
     "ENV_RING_WRITE_TIMEOUT",
     "ENV_SHUFFLE_MODE",
+    "ENV_WATERMARK_TIMEOUT",
     "MESH_HEADER_NBYTES",
     "MeshShuffle",
     "ParentRoutedShuffle",
@@ -95,12 +107,33 @@ ENV_RING_WRITE_TIMEOUT = "REPRO_RING_WRITE_TIMEOUT"
 #: slow matrix forces each plane in turn through this.
 ENV_SHUFFLE_MODE = "REPRO_SHUFFLE_MODE"
 
+#: Environment override for :attr:`PoolConfig.watermark_timeout` — how
+#: long a mesh reducer waits for a frame's completion watermark before
+#: declaring the frame's shuffle wedged.
+ENV_WATERMARK_TIMEOUT = "REPRO_WATERMARK_TIMEOUT"
+
+#: Environment override for :attr:`PoolConfig.max_frame_retries`.
+ENV_MAX_FRAME_RETRIES = "REPRO_MAX_FRAME_RETRIES"
+
+#: Environment override for :attr:`PoolConfig.retry_backoff`.
+ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
+
 #: How long a blocked ring/edge write may sit in backpressure before it
 #: is declared wedged.  With ``pipeline_depth > 1`` a blocked write is
 #: the *normal* flow-control state (the consumer is legitimately busy
 #: with the previous frame), so the bound is generous; it exists only
 #: so a dead peer surfaces as a RingTimeout instead of a silent hang.
 DEFAULT_RING_WRITE_TIMEOUT = 300.0
+
+#: How many times one in-flight frame may be re-executed after an
+#: infrastructure failure before the pool sheds a worker (the
+#: degradation ladder's per-width retry budget).
+DEFAULT_MAX_FRAME_RETRIES = 2
+
+#: Base of the exponential backoff between recovery attempts, seconds.
+#: Small by default: respawning forked workers is cheap, and the arena
+#: (the expensive state) survives recovery anyway.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 #: Mesh record header: (frame seq, chunk index, partition, payload bytes).
 MESH_HEADER_DTYPE = np.dtype(
@@ -162,9 +195,10 @@ class PoolConfig:
         about the same memory as the uplink rings.
     ring_write_timeout:
         Seconds a blocked ring **or mesh-edge** write may wait before
-        raising :class:`~repro.parallel.ring.RingTimeout` (which tears
-        the pool down).  ``None`` reads ``$REPRO_RING_WRITE_TIMEOUT``,
-        falling back to :data:`DEFAULT_RING_WRITE_TIMEOUT`.
+        raising :class:`~repro.parallel.ring.RingTimeout` (recovered by
+        the supervision layer, or fatal with ``supervise=False``).
+        ``None`` reads ``$REPRO_RING_WRITE_TIMEOUT``, falling back to
+        :data:`DEFAULT_RING_WRITE_TIMEOUT`.
     shuffle_mode:
         ``"parent"``, ``"mesh"``, or ``"auto"`` (default).  Auto reads
         ``$REPRO_SHUFFLE_MODE`` if set, else picks ``"mesh"`` when the
@@ -178,6 +212,39 @@ class PoolConfig:
         ``os.sched_setaffinity`` before it allocates its inbound mesh
         edges (first-touch locality).  No-op with a warning when
         affinity is unavailable or there are fewer cores than workers.
+    watermark_timeout:
+        Seconds a mesh reducer waits for a frame's completion watermark
+        (``n_chunks × owned`` records) before declaring the frame's
+        shuffle wedged.  ``None`` reads ``$REPRO_WATERMARK_TIMEOUT``,
+        falling back to the resolved ring write timeout (the watermark
+        wait is the shuffle-in mirror of a blocked shuffle-out write,
+        so by default they share one detection bound).
+    supervise:
+        Whether the executor recovers from *infrastructure* failures
+        (dead workers, wedged edges, expired watermarks) by respawning
+        in place and re-executing the affected frames, instead of
+        tearing the whole pool down (the pre-supervision behavior,
+        available as ``supervise=False``).  Recovery never changes
+        rendered output — re-executed frames are bitwise-identical by
+        the chunk-order-merge invariant.
+    max_frame_retries:
+        How many times one in-flight frame may be re-executed at a
+        given pool width before the pool degrades (sheds a worker;
+        at width 0 it falls back to the serial executor).  ``None``
+        reads ``$REPRO_MAX_FRAME_RETRIES`` (default 2); negative
+        values raise.
+    retry_backoff:
+        Base of the exponential backoff slept between recovery
+        attempts, in seconds.  ``None`` reads ``$REPRO_RETRY_BACKOFF``
+        (default 0.05); negative values raise, zero disables backoff
+        (the fault-injection suites use that to keep recovery tests
+        fast).
+    fault_plan:
+        Deterministic fault-injection plan string for the workers (see
+        :mod:`repro.parallel.faults` for the grammar), or ``None``
+        (read ``$REPRO_FAULT_PLAN``; empty means no injection).  For
+        testing the recovery machinery only — injected faults crash,
+        exit, or stall workers at exact stage boundaries.
     """
 
     ring_capacity: int = 8 << 20
@@ -185,6 +252,11 @@ class PoolConfig:
     ring_write_timeout: Optional[float] = None
     shuffle_mode: str = "auto"
     pin_workers: bool = False
+    watermark_timeout: Optional[float] = None
+    supervise: bool = True
+    max_frame_retries: Optional[int] = None
+    retry_backoff: Optional[float] = None
+    fault_plan: Optional[str] = None
 
     def __post_init__(self):
         if self.ring_capacity < 1:
@@ -200,6 +272,19 @@ class PoolConfig:
             raise ValueError(f"unknown shuffle_mode {self.shuffle_mode!r}")
         if self.ring_write_timeout is not None and self.ring_write_timeout <= 0:
             raise ValueError("ring write timeout must be positive")
+        if self.watermark_timeout is not None and self.watermark_timeout <= 0:
+            raise ValueError("watermark timeout must be positive")
+        if self.max_frame_retries is not None and self.max_frame_retries < 0:
+            raise ValueError("max frame retries cannot be negative")
+        if self.retry_backoff is not None and self.retry_backoff < 0:
+            raise ValueError("retry backoff cannot be negative")
+        if self.fault_plan is not None:
+            # Validate the grammar at configuration time, in the parent —
+            # a typo must not surface as a cryptic worker error after
+            # spawn (resolution happens again in resolved_fault_plan()).
+            from .faults import FaultPlan
+
+            FaultPlan.parse(self.fault_plan)
 
     def resolved_ring_write_timeout(self) -> float:
         if self.ring_write_timeout is not None:
@@ -218,6 +303,72 @@ class PoolConfig:
                 )
             return value
         return DEFAULT_RING_WRITE_TIMEOUT
+
+    def resolved_watermark_timeout(self) -> float:
+        """Explicit > ``$REPRO_WATERMARK_TIMEOUT`` > the resolved ring
+        write timeout (validated like the ring timeout: nonpositive or
+        non-numeric values raise rather than silently falling back)."""
+        if self.watermark_timeout is not None:
+            return float(self.watermark_timeout)
+        env = os.environ.get(ENV_WATERMARK_TIMEOUT, "").strip()
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"${ENV_WATERMARK_TIMEOUT}={env!r} is not a number"
+                ) from None
+            if value <= 0:
+                raise ValueError(
+                    f"${ENV_WATERMARK_TIMEOUT}={env!r} must be positive"
+                )
+            return value
+        return self.resolved_ring_write_timeout()
+
+    def resolved_max_frame_retries(self) -> int:
+        """Explicit > ``$REPRO_MAX_FRAME_RETRIES`` > default (2);
+        negative or non-integer values raise."""
+        if self.max_frame_retries is not None:
+            return int(self.max_frame_retries)
+        env = os.environ.get(ENV_MAX_FRAME_RETRIES, "").strip()
+        if env:
+            try:
+                value = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${ENV_MAX_FRAME_RETRIES}={env!r} is not an integer"
+                ) from None
+            if value < 0:
+                raise ValueError(
+                    f"${ENV_MAX_FRAME_RETRIES}={env!r} cannot be negative"
+                )
+            return value
+        return DEFAULT_MAX_FRAME_RETRIES
+
+    def resolved_retry_backoff(self) -> float:
+        """Explicit > ``$REPRO_RETRY_BACKOFF`` > default (0.05 s);
+        negative or non-numeric values raise, zero disables backoff."""
+        if self.retry_backoff is not None:
+            return float(self.retry_backoff)
+        env = os.environ.get(ENV_RETRY_BACKOFF, "").strip()
+        if env:
+            try:
+                value = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"${ENV_RETRY_BACKOFF}={env!r} is not a number"
+                ) from None
+            if value < 0:
+                raise ValueError(
+                    f"${ENV_RETRY_BACKOFF}={env!r} cannot be negative"
+                )
+            return value
+        return DEFAULT_RETRY_BACKOFF
+
+    def resolved_fault_plan(self) -> Optional[str]:
+        """Explicit > ``$REPRO_FAULT_PLAN`` > None, grammar-validated
+        (see :func:`repro.parallel.faults.resolve_fault_plan`)."""
+        return resolve_fault_plan(self.fault_plan)
 
     def resolved_shuffle_mode(self, reduce_mode: str) -> str:
         mode = self.shuffle_mode
@@ -278,11 +429,20 @@ class WorkerMesh:
         edge_capacity: int,
         write_timeout: float,
         token: Optional[str] = None,
+        watermark_timeout: Optional[float] = None,
     ):
         self.worker_id = int(worker_id)
         self.n_workers = int(n_workers)
         self.edge_capacity = int(edge_capacity)
         self.write_timeout = float(write_timeout)
+        # The frame-completion wait has its own configurable bound
+        # (PoolConfig.watermark_timeout / $REPRO_WATERMARK_TIMEOUT);
+        # it defaults to the write timeout, the pre-knob behavior.
+        self.watermark_timeout = (
+            float(watermark_timeout)
+            if watermark_timeout is not None
+            else float(write_timeout)
+        )
         # Inbound edge from every *other* worker; runs routed to self
         # short-circuit through the stash without touching a ring.
         # With a pool token the names are deterministic (see
@@ -397,7 +557,7 @@ class WorkerMesh:
         """
         kv_dtype = np.dtype(kv_dtype)
         expected = int(n_chunks) * len(owned)
-        deadline = time.monotonic() + self.write_timeout
+        deadline = time.monotonic() + self.watermark_timeout
         frame = self._stash.setdefault(seq, {})
         while len(frame) < expected:
             if not self.poll() and len(frame) < expected:
@@ -405,7 +565,7 @@ class WorkerMesh:
                     raise RingTimeout(
                         f"mesh watermark for frame {seq} not reached: "
                         f"{len(frame)}/{expected} records after "
-                        f"{self.write_timeout}s"
+                        f"{self.watermark_timeout}s"
                     )
                 time.sleep(_POLL_SECONDS)
         records = self._stash.pop(seq)
@@ -558,11 +718,8 @@ class MeshShuffle:
                 continue
             kind = msg[0]
             if kind == "error":
-                _, wi, what, tb = msg
-                raise RuntimeError(
-                    f"task failure in the worker pool "
-                    f"[{what} on worker {wi}]:\n{tb}"
-                )
+                _, wi, what, tb, etype = msg
+                raise worker_error_to_exception(wi, what, tb, etype)
             if kind != "mesh_ready":  # pragma: no cover - protocol violation
                 raise RuntimeError(
                     f"unexpected {kind!r} message during the mesh handshake"

@@ -64,6 +64,7 @@ from __future__ import annotations
 import os
 import pickle
 import queue as queue_mod
+import signal
 import traceback
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
@@ -78,6 +79,7 @@ from ..core.executors import (
     merge_partition_runs,
 )
 from ..core.job import MapReduceSpec
+from .faults import FaultPlan
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
 from .shuffle import DEFAULT_RING_WRITE_TIMEOUT, WorkerMesh
@@ -176,6 +178,7 @@ def _handle_map(
     write_timeout: float,
     result_queue,
     msg: tuple,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Run one map task, then shuffle its runs out.
 
@@ -188,6 +191,8 @@ def _handle_map(
     """
     _, seq, ci, chunk_id, nbytes, on_disk, meta = msg
     try:
+        if faults is not None:
+            faults.fire("map", worker_id, seq, chunk=ci)
         chunk = Chunk(
             id=chunk_id,
             nbytes=nbytes,
@@ -196,6 +201,8 @@ def _handle_map(
             meta=meta,
         )
         runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
+        if faults is not None:
+            faults.fire("shuffle-out", worker_id, seq, chunk=ci)
         fallbacks = 0
         if mesh is not None:
             # Shuffle-out over the mesh: run bytes never touch the parent.
@@ -244,9 +251,18 @@ def _handle_map(
                 fallbacks,
             )
         )
-    except Exception:
+    except Exception as exc:
+        # The exception class name rides along so the parent can tell
+        # transport wedging (RingTimeout -> recoverable) from a bug in
+        # user code (fatal) without parsing the traceback text.
         result_queue.put(
-            ("error", worker_id, f"map of chunk {ci}", traceback.format_exc())
+            (
+                "error",
+                worker_id,
+                f"map of chunk {ci}",
+                traceback.format_exc(),
+                type(exc).__name__,
+            )
         )
 
 
@@ -256,6 +272,7 @@ def _handle_reduce(
     mesh: Optional[WorkerMesh],
     result_queue,
     msg: tuple,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Sort + Reduce this worker's owned partitions for one frame.
 
@@ -268,10 +285,14 @@ def _handle_reduce(
     """
     _, seq, owned, runs_per_chunk = msg
     try:
+        if faults is not None:
+            faults.fire("shuffle-in", worker_id, seq)
         if runs_per_chunk is None:
             runs_per_chunk = mesh.take_frame(
                 seq, owned, ctx.n_chunks, ctx.kv.dtype
             )
+        if faults is not None:
+            faults.fire("reduce", worker_id, seq)
         ctx.reducer.initialize()
         view = PartitionReduceSpec(
             n_reducers=len(owned),
@@ -283,13 +304,14 @@ def _handle_reduce(
         result_queue.put(
             ("reduced", worker_id, seq, owned, outputs, pairs_per_reducer)
         )
-    except Exception:
+    except Exception as exc:
         result_queue.put(
             (
                 "error",
                 worker_id,
                 f"reduce of partitions {owned}",
                 traceback.format_exc(),
+                type(exc).__name__,
             )
         )
 
@@ -373,16 +395,39 @@ def worker_main(
 
     ``cfg`` carries the transport configuration resolved by the parent:
     ``pin_cpu`` (core to pin to, or None), ``write_timeout`` (shared by
-    the uplink ring and every mesh edge), and — when the mesh plane is
-    active — ``mesh_active``/``n_workers``/``edge_capacity``.  Pinning
-    happens **before** the inbound mesh edges are created so their
-    pages are first-touched on the pinned core's NUMA node.
+    the uplink ring and every mesh edge), ``watermark_timeout`` (the
+    mesh frame-completion bound), ``fault_plan``/``spawn_gen`` (the
+    deterministic fault-injection plan and this process's spawn
+    generation — see :mod:`repro.parallel.faults`), and — when the mesh
+    plane is active — ``mesh_active``/``n_workers``/``edge_capacity``.
+    Pinning happens **before** the inbound mesh edges are created so
+    their pages are first-touched on the pinned core's NUMA node.
     ``ring_name`` is the uplink ring (parent-routed plane only; None on
     the mesh plane, where run bytes travel the edges instead).
+
+    An external SIGTERM is converted to ``SystemExit`` so the
+    ``finally`` teardown below still runs: the dying worker detaches
+    its arena views and closes (unlinking, as creator) its own mesh
+    edges instead of leaving everything to the parent's deterministic
+    -name sweep.  The sweep remains the backstop for SIGKILL/crash.
     """
     cfg = cfg or {}
+
+    def _graceful_term(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(128 + int(signum))
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful_term)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     _pin_to_core(cfg.get("pin_cpu"))
     write_timeout = float(cfg.get("write_timeout", DEFAULT_RING_WRITE_TIMEOUT))
+    watermark_timeout = float(cfg.get("watermark_timeout", write_timeout))
+    # The plan was validated in the parent; bind this process's spawn
+    # generation so rules default to firing only on the first attempt.
+    faults = FaultPlan.parse(
+        cfg.get("fault_plan"), generation=int(cfg.get("spawn_gen", 0))
+    )
     ring = ShmRing.attach(ring_name) if ring_name is not None else None
     mesh: Optional[WorkerMesh] = None
     if cfg.get("mesh_active"):
@@ -392,6 +437,7 @@ def worker_main(
             int(cfg["edge_capacity"]),
             write_timeout,
             token=cfg.get("mesh_token"),
+            watermark_timeout=watermark_timeout,
         )
         # Report the inbound edge names; the parent attaches (adopting
         # unlink duty) and broadcasts each worker its outbound row.
@@ -440,6 +486,7 @@ def worker_main(
                     write_timeout,
                     result_queue,
                     msg,
+                    faults,
                 )
             elif kind == "mesh_relay":
                 # Parent-relayed oversized record; counts toward the
@@ -452,7 +499,7 @@ def worker_main(
                 # mesh payloads live in this worker's stash — neither is
                 # an arena view, so both are ordering-safe w.r.t. arena
                 # republish.
-                _handle_reduce(worker_id, ctx, mesh, result_queue, msg)
+                _handle_reduce(worker_id, ctx, mesh, result_queue, msg, faults)
             else:
                 result_queue.put(
                     (
@@ -460,6 +507,7 @@ def worker_main(
                         worker_id,
                         "message dispatch",
                         f"unknown message {kind!r}",
+                        "RuntimeError",
                     )
                 )
     finally:

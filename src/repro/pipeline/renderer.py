@@ -140,6 +140,14 @@ class MapReduceVolumeRenderer:
         cost.  Macro grids are cached per volume+tf+brick and, with the
         pool executor, published once into the shared-memory arena so
         workers never rebuild them across an orbit's frames.
+    supervise, max_frame_retries, fault_plan:
+        Pool-executor fault tolerance (ignored by the in-process
+        executor): ``supervise`` (default True) recovers infrastructure
+        failures in place — respawn the workers, re-execute the
+        in-flight frames bitwise-identically, degrade to fewer workers
+        and finally to serial execution when ``max_frame_retries`` is
+        exhausted.  ``fault_plan`` injects deterministic worker faults
+        (see :mod:`repro.parallel.faults`) for testing/benchmarking.
     """
 
     def __init__(
@@ -160,6 +168,9 @@ class MapReduceVolumeRenderer:
         pin_workers: bool = False,
         accel: Optional[str] = None,
         macro_cell_size: Optional[int] = None,
+        supervise: Optional[bool] = None,
+        max_frame_retries: Optional[int] = None,
+        fault_plan: Optional[str] = None,
     ):
         if volume is None and volume_shape is None:
             raise ValueError("need a volume or a volume_shape")
@@ -197,6 +208,9 @@ class MapReduceVolumeRenderer:
         self.shuffle_mode = shuffle_mode
         self.pin_workers = bool(pin_workers)
         self.pipeline_depth = int(pipeline_depth)
+        self.supervise = supervise
+        self.max_frame_retries = max_frame_retries
+        self.fault_plan = fault_plan
         self._exec_instance = None
 
     @property
@@ -230,6 +244,9 @@ class MapReduceVolumeRenderer:
                     pipeline_depth=self.pipeline_depth,
                     shuffle_mode=self.shuffle_mode,
                     pin_workers=self.pin_workers,
+                    supervise=self.supervise,
+                    max_frame_retries=self.max_frame_retries,
+                    fault_plan=self.fault_plan,
                 )
             else:
                 self._exec_instance = InProcessExecutor(self.job_config)
@@ -249,6 +266,14 @@ class MapReduceVolumeRenderer:
         ``JobStats.ring["shuffle_mode"]`` reports too (a mesh request
         under parent-side reduce degenerates to ``"parent"``)."""
         return getattr(self._exec_instance, "effective_shuffle_mode", None)
+
+    @property
+    def executor_recovery_summary(self) -> list[str]:
+        """Human-readable recovery ledger of the active pool executor
+        (empty for failure-free runs, serial executors, or before the
+        pool is instantiated) — what the CLI prints after a render."""
+        sup = getattr(self._exec_instance, "_supervisor", None)
+        return sup.summary_lines() if sup is not None else []
 
     def close(self) -> None:
         """Shut down the executor (worker processes, shared memory)."""

@@ -20,6 +20,7 @@ kernel change shifts the output, regenerate them with::
 and commit the new ``.npz`` files together with the kernel change.
 """
 
+import glob
 import sys
 from pathlib import Path
 
@@ -221,6 +222,64 @@ def test_pool_serial_fallback_matches_golden():
     pool = SharedMemoryPoolExecutor(workers=1, serial=True)
     image, result = render_scene("skull_gray_az40", pool)
     assert_matches_golden("skull_gray_az40", image, result)
+
+
+# -- crash + in-place recovery must also be bitwise ---------------------------
+def _render_with_crash(scene, shuffle_mode, reduce_mode, pipeline_depth,
+                       fault_plan="crash@map:worker=0,frame=1"):
+    """Render ``scene`` with an injected mid-frame fault: the supervisor
+    recycles the transport epoch, re-attaches the surviving arena, and
+    re-executes the frame — the recovered image must match the golden
+    fixture bitwise and leave /dev/shm exactly as it found it."""
+    before = set(glob.glob("/dev/shm/*"))
+    with SharedMemoryPoolExecutor(
+        workers=2,
+        reduce_mode=reduce_mode,
+        shuffle_mode=shuffle_mode,
+        pipeline_depth=pipeline_depth,
+        fault_plan=fault_plan,
+        retry_backoff=0.0,
+    ) as pool:
+        image, result = render_scene(scene, pool)
+        assert pool._supervisor.active, "injected fault never fired"
+        recovery = result.stats.recovery
+        assert recovery is not None and recovery["respawns"] >= 1
+        # A recovered pool keeps rendering: the next frame reuses the
+        # re-attached arena and respawned workers.
+        image2, result2 = render_scene(scene, pool)
+    assert_matches_golden(scene, image, result)
+    assert_matches_golden(scene, image2, result2)
+    leaked = set(glob.glob("/dev/shm/*")) - before
+    assert not leaked, f"recovery leaked shm segments: {leaked}"
+
+
+def test_pool_crash_recovery_matches_golden_smoke():
+    """Tier-1 canary for the slow recovery matrix below."""
+    _render_with_crash("skull_default_az40", "mesh", "worker", 1)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shuffle_mode,reduce_mode", [
+    ("parent", "parent"), ("parent", "worker"), ("mesh", "worker"),
+])
+@pytest.mark.parametrize("pipeline_depth", [1, 2])
+def test_pool_crash_recovery_matrix_matches_golden(
+    shuffle_mode, reduce_mode, pipeline_depth
+):
+    _render_with_crash(
+        "skull_default_az40", shuffle_mode, reduce_mode, pipeline_depth
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fault_plan", [
+    "exit(3)@shuffle-out:worker=1,frame=1",
+    "crash@reduce:worker=0,frame=1",
+])
+def test_pool_crash_recovery_other_stages_match_golden(fault_plan):
+    _render_with_crash(
+        "skull_default_az40", "mesh", "worker", 1, fault_plan=fault_plan
+    )
 
 
 # -- slow: the full executor × reduce-mode × depth × workers matrix ----------

@@ -395,7 +395,8 @@ def test_mesh_kill_reducer_owner_mid_shuffle():
     placement = [0, 1, 0, 1]
     ref = InProcessExecutor().execute(good_spec, chunks, placement)
     pool = SharedMemoryPoolExecutor(
-        workers=2, reduce_mode="worker", shuffle_mode="mesh"
+        workers=2, reduce_mode="worker", shuffle_mode="mesh",
+        supervise=False,  # pin legacy fail-fast teardown semantics
     )
     try:
         got = pool.execute(good_spec, chunks, placement)
@@ -434,6 +435,7 @@ def test_mesh_wedged_edge_times_out_and_tears_down():
     pool = SharedMemoryPoolExecutor(
         workers=2, reduce_mode="worker", shuffle_mode="mesh",
         mesh_edge_capacity=4096, ring_write_timeout=0.25,
+        supervise=False,  # pin legacy fail-fast teardown semantics
     )
     try:
         t0 = time.monotonic()
