@@ -151,3 +151,32 @@ def test_bench_transfer_lookup(benchmark):
     values = RNG.uniform(0, 1, 500_000)
     out = benchmark(TF.lookup, values)
     assert out.shape == (500_000, 4)
+
+
+def test_bench_tracer_overhead_disabled(benchmark):
+    """The disabled tracer's cost on the map hot loop: each span() is one
+    module-global read + an is-None test returning a shared no-op.  This
+    is the <1% overhead contract of --trace-out being absent."""
+    from repro.observability.tracer import disable_tracing, span
+
+    disable_tracing()
+
+    def mapped_with_spans():
+        frags = None
+        for ci in range(4):
+            with span(f"map:chunk={ci}", cat="map", chunk=ci):
+                frags, _stats = raycast_brick(
+                    VOL.data,
+                    (0, 0, 0),
+                    (0, 0, 0),
+                    VOL.shape,
+                    VOL.shape,
+                    CAM,
+                    TF,
+                    RenderConfig(dt=1.0),
+                    accel_cache=_ACCEL_CACHE,
+                )
+        return frags
+
+    frags = benchmark(mapped_with_spans)
+    assert frags is not None

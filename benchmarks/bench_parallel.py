@@ -47,6 +47,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import MapReduceVolumeRenderer, RenderConfig, make_dataset  # noqa: E402
+from repro.bench.results import collect_environment  # noqa: E402
 from repro.parallel import usable_cores  # noqa: E402
 from repro.pipeline import render_rotation  # noqa: E402
 
@@ -263,6 +264,7 @@ def main(argv=None) -> int:
         "inprocess_fps": round(base_fps, 3),
         "results": rows,
         "fault_smoke": fault_smoke,
+        "environment": collect_environment(),
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -13,6 +13,18 @@ crossover falls) — absolute milliseconds are simulated, not measured on
 import pytest
 
 
+@pytest.hookimpl(optionalhook=True)
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp environment provenance into every saved benchmark JSON.
+
+    ``optionalhook``: tier-1 CI collects this conftest without
+    pytest-benchmark installed, where the hook spec does not exist.
+    """
+    from repro.bench.results import collect_environment
+
+    output_json["environment"] = collect_environment()
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Benchmark a grid-level experiment with a single round.

@@ -17,20 +17,24 @@ from .experiments import (
     sim_render,
 )
 from .reporting import format_series, format_table, print_table
+from .results import ExperimentResults, collect_environment, load_kernel_means
 
 __all__ = [
+    "ExperimentResults",
     "GPU_COUNTS",
     "PAPER_SIZES",
     "ablation_compositing",
     "ablation_partitioners",
     "ablation_reduce_device",
     "ablation_sort_device",
+    "collect_environment",
     "exec_vs_sim_validation",
     "fig3_breakdown",
     "fig4_scaling",
     "figure_camera",
     "format_series",
     "format_table",
+    "load_kernel_means",
     "micro_transfer_costs",
     "paraview_reference",
     "print_table",

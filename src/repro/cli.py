@@ -102,6 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "is bitwise-identical either way")
     r.add_argument("--macro-cell-size", type=int, default=8,
                    help="macro-cell edge length in voxels for --accel grid")
+    r.add_argument("--trace-out", default=None, metavar="TRACE.json",
+                   help="record a span timeline of the render (publish, "
+                        "per-chunk map, shuffle, per-partition reduce, "
+                        "stitch, respawns, ring stalls) and write it as "
+                        "Chrome/Perfetto trace-event JSON: one track per "
+                        "pool worker plus the parent; load it at "
+                        "ui.perfetto.dev or chrome://tracing.  Tracing is "
+                        "off (and costs nothing) without this flag")
+    r.add_argument("--stats-json", default=None, metavar="STATS.json",
+                   help="dump the frame's JobStats — including the "
+                        "unified telemetry registry (ring backpressure, "
+                        "recovery ledger, arena publish bytes, accel-cache "
+                        "hit rates) — as JSON")
     r.add_argument("--out", default="render.ppm")
 
     s = sub.add_parser("sweep", help="regenerate a paper figure (simulated cluster)")
@@ -123,6 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--no-resident", action="store_true",
                    help="stream bricks every frame instead of caching them")
 
+    rep = sub.add_parser(
+        "report",
+        help="benchmark regression report over committed BENCH_*.json",
+    )
+    rep.add_argument("--kernels", default="BENCH_kernels.json",
+                     help="current pytest-benchmark kernel document "
+                          "(default: the committed BENCH_kernels.json)")
+    rep.add_argument("--baseline", default="BENCH_kernels_seed.json",
+                     help="baseline kernel document to compare against "
+                          "(default: the committed seed)")
+    rep.add_argument("--previous", default=None,
+                     help="optional previous-PR kernel document for a "
+                          "three-way comparison")
+    rep.add_argument("--parallel", default="BENCH_parallel.json",
+                     help="pool scaling sweep document summarised in the "
+                          "report (skipped when missing)")
+    rep.add_argument("--check", action="store_true",
+                     help="exit non-zero if any kernel mean regressed "
+                          "past --threshold vs the baseline (the CI gate)")
+    rep.add_argument("--threshold", type=float, default=0.15,
+                     help="allowed fractional slowdown before --check "
+                          "fails (default 0.15 = 15%%)")
+
     sub.add_parser("info", help="package / model configuration summary")
     return p
 
@@ -137,6 +173,15 @@ def _cmd_render(args) -> int:
         write_ppm,
     )
     from .volume.histogram import auto_transfer_function
+
+    tracer = None
+    if args.trace_out:
+        # Installed before the renderer exists so worker processes fork
+        # (or are told to trace) with tracing already decided, and the
+        # publish of the very first arena is on the timeline too.
+        from .observability import enable_tracing
+
+        tracer = enable_tracing()
 
     volume = make_dataset(args.dataset, (args.size,) * 3)
     tf = auto_transfer_function(volume) if args.auto_tf else default_tf()
@@ -184,6 +229,33 @@ def _cmd_render(args) -> int:
           f"sort={sb.sort:.4f}s reduce={sb.reduce:.4f}s total={sb.total:.4f}s")
     for line in recovery_lines:
         print(f"recovery: {line}")
+    if tracer is not None:
+        from .observability import (
+            disable_tracing,
+            stage_summary_line,
+            write_chrome_trace,
+        )
+
+        summary = stage_summary_line(tracer)
+        if summary:
+            print(f"measured stages: {summary}")
+        n_events = write_chrome_trace(args.trace_out, tracer)
+        disable_tracing()
+        print(f"trace: {n_events} events -> {args.trace_out} "
+              f"(open at ui.perfetto.dev)")
+    if args.stats_json:
+        import json
+
+        from .observability.timeline import json_default
+
+        with open(args.stats_json, "w") as fh:
+            json.dump(
+                result.stats.as_dict(include_telemetry=True),
+                fh,
+                indent=2,
+                default=json_default,
+            )
+        print(f"stats: {args.stats_json}")
     return 0
 
 
@@ -243,6 +315,27 @@ def _cmd_rotate(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .bench.results import ExperimentResults
+
+    results = ExperimentResults(
+        kernels=args.kernels,
+        baseline=args.baseline,
+        previous=args.previous,
+        parallel=args.parallel,
+        threshold=args.threshold,
+    )
+    print(results.render_report())
+    if args.check and not results.check():
+        print(
+            f"FAIL: {len(results.regressions())} kernel(s) regressed "
+            f"beyond {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_info(args) -> int:
     import numpy
 
@@ -265,6 +358,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "analyze": _cmd_analyze,
         "rotate": _cmd_rotate,
+        "report": _cmd_report,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..observability.tracer import span
 from ..sim.node import ClusterRuntime, ClusterSpec
 from .chunk import Chunk
 from .job import JobConfig, MapReduceSpec
@@ -173,6 +174,11 @@ def merge_partition_runs(
     counts.
     """
     n_red = spec.n_reducers
+    # Distributed callers renumber their owned partitions 0..n-1; the
+    # optional labels map spans back to job-level partition ids so the
+    # trace shows `reduce:partition=<global p>` wherever it ran.
+    labels = getattr(spec, "partition_labels", None)
+    frame_seq = getattr(spec, "frame_seq", None)
     outputs: list[tuple[np.ndarray, np.ndarray]] = []
     pairs_per_reducer = np.zeros(n_red, dtype=np.int64)
     for r in range(n_red):
@@ -186,8 +192,17 @@ def merge_partition_runs(
         else:
             received = spec.kv.empty()
         pairs_per_reducer[r] = len(received)
-        sr = counting_sort_pairs(received, spec.kv.key_field, 0, spec.max_key)
-        keys, values = spec.reducer.reduce_all(sr.pairs)
+        p = int(labels[r]) if labels is not None else r
+        with span(
+            f"reduce:partition={p}",
+            cat="reduce",
+            pairs=len(received),
+            **({"frame": frame_seq} if frame_seq is not None else {}),
+        ):
+            sr = counting_sort_pairs(
+                received, spec.kv.key_field, 0, spec.max_key
+            )
+            keys, values = spec.reducer.reduce_all(sr.pairs)
         outputs.append((keys, values))
     return outputs, pairs_per_reducer
 
@@ -210,6 +225,12 @@ class PartitionReduceSpec:
     kv: object
     max_key: int
     reducer: object
+    # Job-level ids of the renumbered partitions (ascending, one per
+    # local index) and the frame being reduced — only read by tracing,
+    # so span names carry the global partition id (not the worker-local
+    # renumbering) and pipelined frames stay distinguishable.
+    partition_labels: Optional[Sequence[int]] = None
+    frame_seq: Optional[int] = None
 
 
 def make_map_work(
@@ -254,7 +275,10 @@ class InProcessExecutor:
         works: list[MapWork] = []
         runs_per_chunk: list[list[np.ndarray]] = []
         for ci, chunk in enumerate(chunks):
-            runs, emitted, kept, work, routed = map_chunk_to_runs(spec, chunk)
+            with span(f"map:chunk={ci}", cat="map", chunk=ci):
+                runs, emitted, kept, work, routed = map_chunk_to_runs(
+                    spec, chunk
+                )
             runs_per_chunk.append(runs)
             stats.add_map(work, emitted, kept)
             works.append(

@@ -39,6 +39,11 @@ class JobStats:
     # excluded from as_dict() — recovered frames are bitwise-identical,
     # and the parity contract must not see how bumpy the road was.
     recovery: Optional[dict] = field(default=None, repr=False, compare=False)
+    # Unified metrics export (repro.observability.metrics): the ring /
+    # recovery / arena / accel-cache counters rolled into one schema.
+    # Timing-dependent like the dicts it absorbs, so compare=False and
+    # dumped only via as_dict(include_telemetry=True).
+    telemetry: Optional[dict] = field(default=None, repr=False, compare=False)
 
     def add_map(self, work: dict[str, int], emitted: int, kept: int) -> None:
         self.n_chunks += 1
@@ -53,7 +58,16 @@ class JobStats:
             return 0.0
         return 1.0 - self.n_pairs_kept / self.n_pairs_emitted
 
-    def as_dict(self) -> dict:
+    def as_dict(self, include_telemetry: bool = False) -> dict:
+        """Counter dump.
+
+        By default only the deterministic counters covered by the
+        executor-parity contract are included, so dicts are comparable
+        across executors/planes/runs.  ``include_telemetry=True`` opts
+        in to the timing-dependent ``ring`` / ``recovery`` / ``telemetry``
+        blocks (the ``--stats-json`` dump) without weakening that
+        default.
+        """
         out = {
             "n_chunks": self.n_chunks,
             "n_rays": self.n_rays,
@@ -68,4 +82,11 @@ class JobStats:
         }
         if self.breakdown is not None:
             out["stage_breakdown"] = self.breakdown.as_dict()
+        if include_telemetry:
+            if self.ring is not None:
+                out["ring"] = self.ring
+            if self.recovery is not None:
+                out["recovery"] = self.recovery
+            if self.telemetry is not None:
+                out["telemetry"] = self.telemetry
         return out

@@ -1,0 +1,56 @@
+"""Telemetry plane: span tracing, timeline export, unified metrics.
+
+Three pieces, one contract (see ARCHITECTURE.md "Observability"):
+
+* :mod:`repro.observability.tracer` — the default-off, process-global
+  span recorder every stage boundary reports through; provably inert
+  when disabled.
+* :mod:`repro.observability.timeline` — merges parent + worker span
+  buffers into Chrome/Perfetto ``trace_event`` JSON (``repro render
+  --trace-out``) and computes the CLI's per-stage breakdown line.
+* :mod:`repro.observability.metrics` — the counters/gauges/histograms
+  registry that absorbs the stack's ad-hoc stat dicts into the single
+  ``JobStats.telemetry`` schema (``repro render --stats-json``).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SCHEMA,
+    build_job_telemetry,
+)
+from .timeline import (
+    chrome_trace,
+    stage_breakdown,
+    stage_summary_line,
+    write_chrome_trace,
+)
+from .tracer import (
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    instant,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA",
+    "Tracer",
+    "build_job_telemetry",
+    "chrome_trace",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "instant",
+    "span",
+    "stage_breakdown",
+    "stage_summary_line",
+    "write_chrome_trace",
+]

@@ -1,0 +1,165 @@
+"""Chrome/Perfetto ``trace_event`` export of a traced render.
+
+The parent merges its own spans with the buffers workers shipped back
+over the result queue into one per-job timeline: one track (``tid``)
+per worker plus one for the parent, all under a single process
+(``pid``), so ``chrome://tracing`` / https://ui.perfetto.dev show the
+paper's overlap structure directly — maps on worker tracks overlapping
+the parent's publish/stitch, reduces following their frame's maps,
+respawned generations interleaved on the same worker track (tagged
+``args.gen``).
+
+Only the documented subset of the trace_event format is emitted:
+
+* ``ph: "M"`` metadata (process/thread names),
+* ``ph: "X"`` complete events (``ts``/``dur`` in microseconds),
+* ``ph: "i"`` instants (supervisor markers), process scope.
+
+Timestamps are monotonic-clock microseconds; Chrome only needs them
+mutually consistent, not wall-anchored.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "json_default",
+    "stage_breakdown",
+    "stage_summary_line",
+    "write_chrome_trace",
+]
+
+_PID = 1  # single job == single trace process
+_PARENT_TID = 0
+
+#: span-name prefix → stage bucket for the per-stage time breakdown
+_STAGE_OF = {
+    "publish": "publish",
+    "map": "map",
+    "shuffle-out": "shuffle",
+    "shuffle-in": "shuffle",
+    "reduce": "reduce",
+    "stitch": "stitch",
+    "respawn": "respawn",
+    "ring-stall": "stall",
+}
+
+
+def _event_dict(track: Optional[int], gen: int, ev: tuple) -> dict:
+    name, cat, ts_ns, dur_ns, args = ev
+    out = {
+        "name": name,
+        "cat": cat or "repro",
+        "pid": _PID,
+        "tid": _PARENT_TID if track is None else track + 1,
+        "ts": ts_ns / 1000.0,
+    }
+    if dur_ns is None:
+        out["ph"] = "i"
+        out["s"] = "p"  # process-scoped instant
+    else:
+        out["ph"] = "X"
+        out["dur"] = dur_ns / 1000.0
+    if track is not None:
+        args = dict(args) if args else {}
+        args.setdefault("worker", track)
+        args.setdefault("gen", gen)
+    if args:
+        out["args"] = args
+    return out
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The full trace document (``traceEvents`` + display hints)."""
+    events = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _PARENT_TID,
+            "name": "process_name",
+            "args": {"name": "repro render"},
+        },
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _PARENT_TID,
+            "name": "thread_name",
+            "args": {"name": "parent"},
+        },
+    ]
+    named: set = set()
+    for worker, _gen, _evs in tracer.remote():
+        if worker not in named:
+            named.add(worker)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": worker + 1,
+                    "name": "thread_name",
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+    for track, gen, ev in tracer.all_events():
+        events.append(_event_dict(track, gen, ev))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer) -> int:
+    """Serialize :func:`chrome_trace` to ``path``; returns the event count."""
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, default=json_default)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+def json_default(value):
+    """Args may carry numpy scalars; coerce rather than crash the dump."""
+    try:
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+def stage_breakdown(tracer: Tracer) -> dict:
+    """Seconds of traced span time per stage bucket, summed across all
+    tracks (so with N busy workers ``map`` can exceed wall time — it is
+    aggregate stage *work*, the per-stage share the CLI line reports)."""
+    totals: dict = {}
+    for _track, _gen, (name, _cat, _ts, dur_ns, _args) in tracer.all_events():
+        if dur_ns is None:
+            continue
+        stage = _STAGE_OF.get(name.split(":", 1)[0])
+        if stage is not None:
+            totals[stage] = totals.get(stage, 0.0) + dur_ns * 1e-9
+    return totals
+
+
+def stage_summary_line(tracer: Tracer) -> Optional[str]:
+    """The CLI's compact per-stage breakdown, e.g.
+    ``map=61.2% shuffle=4.1% reduce=22.4% stitch=12.3%`` — percentages
+    of the traced pipeline-stage time (publish/map/shuffle/reduce/
+    stitch; respawn and stall intervals are reported absolutely)."""
+    totals = stage_breakdown(tracer)
+    core = {
+        k: totals.get(k, 0.0)
+        for k in ("publish", "map", "shuffle", "reduce", "stitch")
+    }
+    denom = sum(core.values())
+    if denom <= 0:
+        return None
+    parts = [
+        f"{stage}={100.0 * seconds / denom:.1f}%"
+        for stage, seconds in core.items()
+        if seconds > 0
+    ]
+    for extra in ("stall", "respawn"):
+        if totals.get(extra, 0.0) > 0:
+            parts.append(f"{extra}={totals[extra]:.3f}s")
+    return " ".join(parts)

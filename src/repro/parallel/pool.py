@@ -135,6 +135,8 @@ from ..core.executors import (
 from ..core.job import JobConfig, MapReduceSpec
 from ..core.scheduler import MapWork
 from ..core.stats import JobStats
+from ..observability.metrics import build_job_telemetry
+from ..observability.tracer import current_tracer, span
 from .ring import ShmRing
 from .shm import ShmArena
 from .shuffle import (
@@ -499,6 +501,11 @@ class SharedMemoryPoolExecutor:
         self._spawn_gen = 0  # spawn waves so far; fault rules key on it
         self._degraded_serial = False  # ladder hit the floor: serial only
         self._arena_rebroadcast = False  # fresh wave must re-attach arena
+        # Cumulative arena traffic, exported via JobStats.telemetry: how
+        # many times the downlink actually re-uploaded vs. re-attached.
+        self._arena_publishes = 0
+        self._arena_bytes_published = 0
+        self._arena_rebroadcasts = 0
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -632,6 +639,11 @@ class SharedMemoryPoolExecutor:
                 # predecessor (gen=any opts into exactly that, to
                 # drive the degradation ladder in tests).
                 "spawn_gen": spawn_gen,
+                # Workers inherit the parent's tracer object over fork;
+                # this flag tells worker_main to install its *own* fresh
+                # tracer (or drop the inherited one) so span buffers are
+                # per-process and ship back over the result queue.
+                "trace": current_tracer() is not None,
             }
             p = self._ctx.Process(
                 target=worker_main,
@@ -785,7 +797,9 @@ class SharedMemoryPoolExecutor:
                 f.reset_for_retry()
             try:
                 t0 = time.monotonic()
-                self._ensure_started()
+                with span("respawn", cat="respawn", workers=self.workers) as sp:
+                    self._ensure_started()
+                    sp.set(gen=self._spawn_gen - 1)
                 self._supervisor.record_respawn(
                     self.workers, time.monotonic() - t0, self._spawn_gen - 1
                 )
@@ -902,39 +916,50 @@ class SharedMemoryPoolExecutor:
                 # task queue) the frame that needs it, and any *newer*
                 # arena that replaces it is only published after this
                 # frame's maps have drained.
-                arena = self._state["arena"]
-                for q in self._state["task_queues"]:
-                    q.put(("arena", arena.spec))
+                with span("publish", cat="publish", rebroadcast=True):
+                    arena = self._state["arena"]
+                    for q in self._state["task_queues"]:
+                        q.put(("arena", arena.spec))
                 self._arena_rebroadcast = False
+                self._arena_rebroadcasts += 1
             return
-        arrays = {c.id: c.payload() for c in chunks}
-        if tf_version is not None:
-            arrays[TF_ARENA_KEY] = tf.table
-        if accel_mode == "grid" and tf_version is not None:
-            key_for = getattr(spec.mapper, "accel_key_for", None)
-            if key_for is not None:
-                from ..render.accel import build_macro_grid, grid_key, shared_cache
+        with span("publish", cat="publish", chunks=len(chunks)) as sp:
+            arrays = {c.id: c.payload() for c in chunks}
+            if tf_version is not None:
+                arrays[TF_ARENA_KEY] = tf.table
+            if accel_mode == "grid" and tf_version is not None:
+                key_for = getattr(spec.mapper, "accel_key_for", None)
+                if key_for is not None:
+                    from ..render.accel import (
+                        build_macro_grid,
+                        grid_key,
+                        shared_cache,
+                    )
 
-                cache = shared_cache()
-                for c in chunks:
-                    base = key_for(c)
-                    if base is None:
-                        continue
-                    gkey = grid_key(base, cell_size)
-                    grid = cache.get(gkey)
-                    if grid is None:
-                        grid = build_macro_grid(arrays[c.id], tf, cell_size)
-                        cache.put(gkey, grid)
-                    arrays[(GRID_ARENA_KEY, gkey)] = grid
-        arena = ShmArena(arrays)
-        for q in self._state["task_queues"]:
-            q.put(("arena", arena.spec))
-        old = self._state.get("arena")
-        if old is not None:
-            old.close()  # attached workers keep the memory alive until
-        self._state["arena"] = arena  # they process the new-arena message
+                    cache = shared_cache()
+                    for c in chunks:
+                        base = key_for(c)
+                        if base is None:
+                            continue
+                        gkey = grid_key(base, cell_size)
+                        grid = cache.get(gkey)
+                        if grid is None:
+                            grid = build_macro_grid(arrays[c.id], tf, cell_size)
+                            cache.put(gkey, grid)
+                        arrays[(GRID_ARENA_KEY, gkey)] = grid
+            nbytes = sum(int(a.nbytes) for a in arrays.values())
+            sp.set(bytes=nbytes)
+            arena = ShmArena(arrays)
+            for q in self._state["task_queues"]:
+                q.put(("arena", arena.spec))
+            old = self._state.get("arena")
+            if old is not None:
+                old.close()  # attached workers keep the memory alive until
+            self._state["arena"] = arena  # they process the new-arena message
         self._arena_fingerprint = sig
         self._arena_rebroadcast = False  # fresh spec reached every queue
+        self._arena_publishes += 1
+        self._arena_bytes_published += nbytes
 
     def _frame_payload(self, spec: MapReduceSpec, n_chunks: int) -> bytes:
         """Pickle the frame context, with the TF table left in the arena.
@@ -1114,6 +1139,15 @@ class SharedMemoryPoolExecutor:
         if msg is None:
             return
         kind = msg[0]
+        if kind == "spans":
+            # A worker's span buffer, flushed just before a completion
+            # message (FIFO: the spans of everything a frame counts are
+            # absorbed by the time the frame seals).  Silently dropped
+            # when tracing was turned off between spawn and delivery.
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.add_remote(msg[1], msg[2], msg[3])
+            return
         if kind == "error":
             # Workers tag errors with the exception type name so the
             # parent can tell infrastructure failures (RingTimeout — a
@@ -1184,6 +1218,7 @@ class SharedMemoryPoolExecutor:
             stats.recovery = self._supervisor.snapshot(
                 frame_retries=frame.retries, workers=self.workers
             )
+        stats.telemetry = self._frame_telemetry(stats, frame)
         frame.result = InProcessResult(
             outputs=outputs,
             stats=stats,
@@ -1192,6 +1227,32 @@ class SharedMemoryPoolExecutor:
         )
         frame.runs_per_chunk = None  # free the fragment memory
         del self._pending[frame.seq]
+
+    def _frame_telemetry(self, stats: JobStats, frame: PendingFrame) -> dict:
+        """The ``JobStats.telemetry`` registry snapshot for one frame.
+
+        Absorbs the ad-hoc dicts that already exist (ring backpressure,
+        recovery ledger) plus the pool-lifetime arena counters and the
+        parent's acceleration-cache hit rates into one flat, uniformly
+        named metrics payload (see :mod:`repro.observability.metrics`).
+        """
+        from ..render.accel import shared_cache
+
+        return build_job_telemetry(
+            ring=stats.ring,
+            recovery=stats.recovery,
+            arena={
+                "publishes": self._arena_publishes,
+                "published_bytes": self._arena_bytes_published,
+                "rebroadcasts": self._arena_rebroadcasts,
+            },
+            cache=shared_cache().stats(),
+            workers=self.workers,
+            reduce_mode=self.reduce_mode,
+            shuffle_mode=self.effective_shuffle_mode,
+            pipeline_depth=self.pipeline_depth,
+            frame_seq=frame.seq,
+        )
 
     def _execute_serial(
         self,

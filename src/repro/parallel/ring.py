@@ -44,6 +44,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..observability.tracer import current_tracer
+
 __all__ = ["ShmRing", "RingTimeout"]
 
 _MAGIC = 0x52494E47_00000001  # "RING" + layout version
@@ -214,15 +216,27 @@ class ShmRing:
         if n == 0:
             return
         if self.free < n:  # backpressure: the consumer is behind
-            t0 = time.monotonic()
+            t0_ns = time.monotonic_ns()
             self._wait(lambda: self.free >= n, timeout, "space", on_wait)
+            t1_ns = time.monotonic_ns()
             self._header[_IDX_STALL_NS] = np.uint64(
-                int(self._header[_IDX_STALL_NS])
-                + int((time.monotonic() - t0) * 1e9)
+                int(self._header[_IDX_STALL_NS]) + (t1_ns - t0_ns)
             )
             self._header[_IDX_STALL_EVENTS] = np.uint64(
                 int(self._header[_IDX_STALL_EVENTS]) + 1
             )
+            # The header words aggregate stall time; the tracer (when
+            # enabled) additionally records the *interval*, so a trace
+            # shows when backpressure bit, not just that it did.
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.add(
+                    "ring-stall",
+                    t0_ns,
+                    t1_ns,
+                    cat="stall",
+                    args={"ring": self.name, "waited_for_bytes": n},
+                )
         w = int(self._header[_IDX_WRITE])
         off = w
         for buf in bufs:

@@ -76,6 +76,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.executors import ShuffleSpec
+from ..observability.tracer import span
 from .faults import ENV_FAULT_PLAN, resolve_fault_plan
 from .merge import split_runs
 from .ring import _POLL_SECONDS, RingTimeout, ShmRing
@@ -559,15 +560,16 @@ class WorkerMesh:
         expected = int(n_chunks) * len(owned)
         deadline = time.monotonic() + self.watermark_timeout
         frame = self._stash.setdefault(seq, {})
-        while len(frame) < expected:
-            if not self.poll() and len(frame) < expected:
-                if time.monotonic() > deadline:
-                    raise RingTimeout(
-                        f"mesh watermark for frame {seq} not reached: "
-                        f"{len(frame)}/{expected} records after "
-                        f"{self.watermark_timeout}s"
-                    )
-                time.sleep(_POLL_SECONDS)
+        with span("shuffle-in", cat="shuffle", frame=seq, records=expected):
+            while len(frame) < expected:
+                if not self.poll() and len(frame) < expected:
+                    if time.monotonic() > deadline:
+                        raise RingTimeout(
+                            f"mesh watermark for frame {seq} not reached: "
+                            f"{len(frame)}/{expected} records after "
+                            f"{self.watermark_timeout}s"
+                        )
+                    time.sleep(_POLL_SECONDS)
         records = self._stash.pop(seq)
         runs_per_chunk = []
         for ci in range(int(n_chunks)):

@@ -46,6 +46,7 @@ import time
 from collections import Counter
 from typing import List, Optional, Sequence, Tuple
 
+from ..observability.tracer import instant
 from .ring import RingTimeout
 
 __all__ = [
@@ -163,6 +164,10 @@ class PoolSupervisor:
     def _event(self, event: str, **detail) -> None:
         if len(self.events) < self.MAX_EVENTS:
             self.events.append({"event": event, "t": time.time(), **detail})
+        # When tracing is on, ledger events double as timeline markers:
+        # failure/degrade/fallback instants sit on the parent track next
+        # to the respawn spans they explain.
+        instant(f"supervisor:{event}", cat="supervisor", **detail)
 
     def record_failure(self, failure: PoolFailure) -> None:
         self.failures += 1

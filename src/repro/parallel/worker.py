@@ -79,6 +79,12 @@ from ..core.executors import (
     merge_partition_runs,
 )
 from ..core.job import MapReduceSpec
+from ..observability.tracer import (
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
 from .faults import FaultPlan
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
@@ -179,6 +185,7 @@ def _handle_map(
     result_queue,
     msg: tuple,
     faults: Optional[FaultPlan] = None,
+    flush_spans=None,
 ) -> None:
     """Run one map task, then shuffle its runs out.
 
@@ -191,51 +198,58 @@ def _handle_map(
     """
     _, seq, ci, chunk_id, nbytes, on_disk, meta = msg
     try:
-        if faults is not None:
-            faults.fire("map", worker_id, seq, chunk=ci)
-        chunk = Chunk(
-            id=chunk_id,
-            nbytes=nbytes,
-            data=view.array(chunk_id),
-            on_disk=on_disk,
-            meta=meta,
-        )
-        runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
-        if faults is not None:
-            faults.fire("shuffle-out", worker_id, seq, chunk=ci)
-        fallbacks = 0
-        if mesh is not None:
-            # Shuffle-out over the mesh: run bytes never touch the parent.
-            shuf = ShuffleSpec(ctx.n_reducers, mesh.n_workers)
-            for part, run in enumerate(runs):
-                run = np.ascontiguousarray(run)
-                if not mesh.send(seq, ci, part, run, shuf.owner_of(part)):
-                    # Record too large for its edge: relay through the
-                    # parent's control plane rather than deadlock.
-                    result_queue.put(
-                        ("mesh_fallback", worker_id, seq, ci, part, run)
-                    )
-                    fallbacks += 1
-            inline = None
-            ring_nbytes = 0
-        else:
-            total = int(sum(run.nbytes for run in runs))
-            if total <= ring.capacity:
-                # Fast path: stream raw run bytes through the ring
-                # (reducer order), publish only counts on the queue.
-                for run in runs:
-                    if len(run):
-                        ring.write_bytes(
-                            np.ascontiguousarray(run), timeout=write_timeout
+        with span(f"map:chunk={ci}", cat="map", frame=seq, chunk=ci):
+            if faults is not None:
+                faults.fire("map", worker_id, seq, chunk=ci)
+            chunk = Chunk(
+                id=chunk_id,
+                nbytes=nbytes,
+                data=view.array(chunk_id),
+                on_disk=on_disk,
+                meta=meta,
+            )
+            runs, emitted, kept, work, routed = map_chunk_to_runs(ctx, chunk)
+        with span("shuffle-out", cat="shuffle", frame=seq, chunk=ci) as sp:
+            if faults is not None:
+                faults.fire("shuffle-out", worker_id, seq, chunk=ci)
+            fallbacks = 0
+            if mesh is not None:
+                # Shuffle-out over the mesh: run bytes never touch the
+                # parent.
+                shuf = ShuffleSpec(ctx.n_reducers, mesh.n_workers)
+                for part, run in enumerate(runs):
+                    run = np.ascontiguousarray(run)
+                    if not mesh.send(seq, ci, part, run, shuf.owner_of(part)):
+                        # Record too large for its edge: relay through the
+                        # parent's control plane rather than deadlock.
+                        result_queue.put(
+                            ("mesh_fallback", worker_id, seq, ci, part, run)
                         )
+                        fallbacks += 1
                 inline = None
-                ring_nbytes = total
-            else:
-                # A single chunk outgrew the ring: fall back to the
-                # (pickling) queue rather than deadlock.
-                inline = np.concatenate(runs) if kept else None
                 ring_nbytes = 0
-                fallbacks = 1
+            else:
+                total = int(sum(run.nbytes for run in runs))
+                if total <= ring.capacity:
+                    # Fast path: stream raw run bytes through the ring
+                    # (reducer order), publish only counts on the queue.
+                    for run in runs:
+                        if len(run):
+                            ring.write_bytes(
+                                np.ascontiguousarray(run),
+                                timeout=write_timeout,
+                            )
+                    inline = None
+                    ring_nbytes = total
+                else:
+                    # A single chunk outgrew the ring: fall back to the
+                    # (pickling) queue rather than deadlock.
+                    inline = np.concatenate(runs) if kept else None
+                    ring_nbytes = 0
+                    fallbacks = 1
+            sp.set(bytes=ring_nbytes, fallbacks=fallbacks)
+        if flush_spans is not None:
+            flush_spans()
         result_queue.put(
             (
                 "done",
@@ -255,6 +269,8 @@ def _handle_map(
         # The exception class name rides along so the parent can tell
         # transport wedging (RingTimeout -> recoverable) from a bug in
         # user code (fatal) without parsing the traceback text.
+        if flush_spans is not None:
+            flush_spans()  # the failed task's spans still reach the trace
         result_queue.put(
             (
                 "error",
@@ -273,6 +289,7 @@ def _handle_reduce(
     result_queue,
     msg: tuple,
     faults: Optional[FaultPlan] = None,
+    flush_spans=None,
 ) -> None:
     """Sort + Reduce this worker's owned partitions for one frame.
 
@@ -288,6 +305,9 @@ def _handle_reduce(
         if faults is not None:
             faults.fire("shuffle-in", worker_id, seq)
         if runs_per_chunk is None:
+            # Shuffle-in proper: take_frame records the span around the
+            # watermark drain (parent-plane runs arrive with the message,
+            # so there is no wait to trace on that plane).
             runs_per_chunk = mesh.take_frame(
                 seq, owned, ctx.n_chunks, ctx.kv.dtype
             )
@@ -299,12 +319,18 @@ def _handle_reduce(
             kv=ctx.kv,
             max_key=ctx.max_key,
             reducer=ctx.reducer,
+            partition_labels=owned,  # spans name the job-level partition
+            frame_seq=seq,
         )
         outputs, pairs_per_reducer = merge_partition_runs(view, runs_per_chunk)
+        if flush_spans is not None:
+            flush_spans()
         result_queue.put(
             ("reduced", worker_id, seq, owned, outputs, pairs_per_reducer)
         )
     except Exception as exc:
+        if flush_spans is not None:
+            flush_spans()
         result_queue.put(
             (
                 "error",
@@ -421,13 +447,28 @@ def worker_main(
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     _pin_to_core(cfg.get("pin_cpu"))
+    # Tracing: a fresh per-process buffer when the parent traces, else
+    # explicitly disabled — a fork child inherits the parent's tracer
+    # object, and recording into (or shipping) that copy would be wrong
+    # either way.  Spans are flushed onto the result queue immediately
+    # BEFORE each task-completion message, so FIFO order guarantees the
+    # parent absorbs a task's spans no later than the task itself.
+    spawn_gen = int(cfg.get("spawn_gen", 0))
+    if cfg.get("trace"):
+        enable_tracing()
+    else:
+        disable_tracing()
+
+    def flush_spans() -> None:
+        tracer = current_tracer()
+        if tracer is not None and tracer.events:
+            result_queue.put(("spans", worker_id, spawn_gen, tracer.drain()))
+
     write_timeout = float(cfg.get("write_timeout", DEFAULT_RING_WRITE_TIMEOUT))
     watermark_timeout = float(cfg.get("watermark_timeout", write_timeout))
     # The plan was validated in the parent; bind this process's spawn
     # generation so rules default to firing only on the first attempt.
-    faults = FaultPlan.parse(
-        cfg.get("fault_plan"), generation=int(cfg.get("spawn_gen", 0))
-    )
+    faults = FaultPlan.parse(cfg.get("fault_plan"), generation=spawn_gen)
     ring = ShmRing.attach(ring_name) if ring_name is not None else None
     mesh: Optional[WorkerMesh] = None
     if cfg.get("mesh_active"):
@@ -487,6 +528,7 @@ def worker_main(
                     result_queue,
                     msg,
                     faults,
+                    flush_spans,
                 )
             elif kind == "mesh_relay":
                 # Parent-relayed oversized record; counts toward the
@@ -499,7 +541,9 @@ def worker_main(
                 # mesh payloads live in this worker's stash — neither is
                 # an arena view, so both are ordering-safe w.r.t. arena
                 # republish.
-                _handle_reduce(worker_id, ctx, mesh, result_queue, msg, faults)
+                _handle_reduce(
+                    worker_id, ctx, mesh, result_queue, msg, faults, flush_spans
+                )
             else:
                 result_queue.put(
                     (

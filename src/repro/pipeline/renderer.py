@@ -29,6 +29,7 @@ from ..core.partition import RoundRobinPartitioner
 from ..core.api import Partitioner
 from ..core.scheduler import MapWork, SimOutcome
 from ..core.stats import JobStats
+from ..observability.tracer import span
 from ..render.accel import volume_token
 from ..render.camera import Camera
 from ..render.fragments import FRAGMENT_DTYPE, FRAGMENT_NBYTES
@@ -458,7 +459,8 @@ class MapReduceVolumeRenderer:
         parts = [
             (keys, values) for keys, values in result.outputs if len(keys)
         ]
-        image = stitch_pixels(parts, camera.width, camera.height)
+        with span("stitch", cat="stitch", parts=len(parts)):
+            image = stitch_pixels(parts, camera.width, camera.height)
 
         outcome = None
         if mode == "both":  # replay measured work on the simulated cluster

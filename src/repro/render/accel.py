@@ -124,6 +124,17 @@ class AccelCache:
             self._nbytes -= table.nbytes
         return table
 
+    def stats(self) -> dict:
+        """Hit-rate snapshot for the telemetry registry."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else None,
+            "entries": len(self._entries),
+            "nbytes": self._nbytes,
+        }
+
     def clear(self) -> None:
         self._entries.clear()
         self._nbytes = 0
