@@ -12,7 +12,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py \
         [--out BENCH_parallel.json] [--workers 1,2,4,8] \
-        [--reduce-modes parent,worker] [--shuffle-modes parent,mesh] \
+        [--reduce-modes parent,worker] [--shuffle-modes parent,mesh,tcp] \
         [--depths 1,2] [--size 48] [--gpus 8] [--frames 6] [--image 160]
 
 The report records the machine's usable core count alongside every
@@ -24,13 +24,17 @@ owning workers (the paper's symmetric layout); ``shuffle_mode="mesh"``
 exchanges fragment runs worker↔worker over direct shared-memory edge
 rings so the parent never touches run bytes (each mesh row asserts
 ``parent_run_bytes == 0`` and records the per-frame mesh backpressure
-counters); ``pipeline_depth=2`` double-buffers frames so workers
-map+reduce frame *k+1* while the parent stitches frame *k* — all three
-need >1 real core to pay off.  The mesh only materializes under
-worker-side reduce (with a parent reduce every run's destination *is*
-the parent), so mesh × parent-reduce combinations are skipped as
-duplicates.  The in-process executor is measured too, as the no-pool
-baseline, and every pool render is checked bitwise against it.
+counters); ``shuffle_mode="tcp"`` carries the same exchange over
+socket streams (the multi-host plane — strictly slower than shm on one
+box, measured to quantify exactly that cost, and asserting the same
+``parent_run_bytes == 0`` structurally); ``pipeline_depth=2``
+double-buffers frames so workers map+reduce frame *k+1* while the
+parent stitches frame *k* — all of which need >1 real core to pay off.
+The direct planes only materialize under worker-side reduce (with a
+parent reduce every run's destination *is* the parent), so mesh/tcp ×
+parent-reduce combinations are skipped as duplicates.  The in-process
+executor is measured too, as the no-pool baseline, and every pool
+render is checked bitwise against it.
 """
 
 from __future__ import annotations
@@ -80,8 +84,11 @@ def main(argv=None) -> int:
     ap.add_argument("--reduce-modes", default="parent,worker",
                     help="comma-separated reduce placements to sweep")
     ap.add_argument("--shuffle-modes", default="parent,mesh",
-                    help="comma-separated shuffle planes to sweep (mesh "
-                         "rows only materialize under worker-side reduce)")
+                    help="comma-separated shuffle planes to sweep — "
+                         "parent, mesh, and/or tcp (direct-plane rows "
+                         "only materialize under worker-side reduce; "
+                         "add tcp to quantify the socket plane's cost "
+                         "vs shm on one box)")
     ap.add_argument("--depths", default="1,2",
                     help="comma-separated pipeline depths to sweep")
     ap.add_argument("--size", type=int, default=48, help="cubic volume edge")
@@ -103,7 +110,7 @@ def main(argv=None) -> int:
         if m not in ("parent", "worker"):
             ap.error(f"unknown reduce mode {m!r}")
     for s in sweep_shuffles:
-        if s not in ("parent", "mesh"):
+        if s not in ("parent", "mesh", "tcp"):
             ap.error(f"unknown shuffle mode {s!r}")
 
     vol = make_dataset("skull", (args.size,) * 3)
@@ -128,10 +135,10 @@ def main(argv=None) -> int:
     for mode, shuffle, depth, w in itertools.product(
         sweep_modes, sweep_shuffles, sweep_depths, sweep_workers
     ):
-        if shuffle == "mesh" and mode == "parent":
+        if shuffle in ("mesh", "tcp") and mode == "parent":
             # With a parent-side reduce every run's destination is the
-            # parent; the mesh never materializes and the row would
-            # duplicate the parent-plane measurement.
+            # parent; the direct plane never materializes and the row
+            # would duplicate the parent-plane measurement.
             continue
         with make_renderer(
             executor="pool", workers=w, reduce_mode=mode,
@@ -158,6 +165,17 @@ def main(argv=None) -> int:
                     "without a queue fallback: "
                     f"{ring.get('parent_run_bytes')}"
                 )
+        elif shuffle == "tcp" and mode == "worker":
+            # Streams have no capacity cliff and therefore no fallback
+            # escape hatch: the parent-clean guarantee is unconditional.
+            assert ring.get("queue_fallbacks", 0) == 0, (
+                "tcp shuffle reported a queue fallback, which the plane "
+                "does not have"
+            )
+            assert ring.get("parent_run_bytes") == 0, (
+                "tcp shuffle leaked run bytes through the parent: "
+                f"{ring.get('parent_run_bytes')}"
+            )
         rows.append(
             {
                 "workers": w,
@@ -176,6 +194,7 @@ def main(argv=None) -> int:
                 "queue_fallbacks_last_frame": ring.get("queue_fallbacks", 0),
                 "parent_run_bytes_last_frame": ring.get("parent_run_bytes", 0),
                 "mesh_bytes_total": ring.get("mesh_bytes_total", 0),
+                "wire_bytes_total": ring.get("wire_bytes_total", 0),
             }
         )
         print(f"pool workers={w} reduce={mode} shuffle={shuffle} "
@@ -245,12 +264,14 @@ def main(argv=None) -> int:
         "note": (
             "speedup is bounded by cpu_count: on a single-core machine all "
             "pool sizes time-slice one core and stay near 1x; worker-side "
-            "reduce, the mesh shuffle plane, and pipeline_depth>1 likewise "
-            "need real cores to pay off.  mesh rows carry "
+            "reduce, the direct shuffle planes, and pipeline_depth>1 "
+            "likewise need real cores to pay off.  mesh and tcp rows carry "
             "parent_run_bytes_last_frame=0 by construction (runs travel "
-            "worker-to-worker edge rings, never the parent); mesh x "
-            "parent-reduce combos are skipped as duplicates of the parent "
-            "plane"
+            "worker-to-worker edge rings or socket streams, never the "
+            "parent); direct-plane x parent-reduce combos are skipped as "
+            "duplicates of the parent plane.  tcp rows quantify the socket "
+            "plane's cost vs shm on one box (wire_bytes_total counts "
+            "headers + payload on the wire)"
         ),
         "params": {
             "dataset": "skull",

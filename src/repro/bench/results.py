@@ -44,6 +44,15 @@ def collect_environment() -> dict:
     """
     env = {
         "cpu_count": os.cpu_count(),
+        # The cores this process may actually run on: the pool sizes
+        # itself from sched_getaffinity, so a cgroup/affinity-limited
+        # container can report cpu_count=64 while time-slicing 2 cores —
+        # two such documents are not comparable on cpu_count alone.
+        "usable_cores": (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        ),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -105,7 +114,12 @@ class ExperimentResults:
     """
 
     #: Environment keys whose disagreement makes means incomparable.
-    COMPARABLE_KEYS = ("cpu_count", "python", "platform")
+    #: ``usable_cores`` participates because affinity-limited containers
+    #: change effective parallelism without changing ``cpu_count``;
+    #: documents predating the key (no ``usable_cores`` stamped) are
+    #: simply not compared on it — the mismatch check skips keys absent
+    #: on either side.
+    COMPARABLE_KEYS = ("cpu_count", "usable_cores", "python", "platform")
 
     def __init__(
         self,

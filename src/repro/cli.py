@@ -61,14 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "(workers map+reduce the next frame while the parent "
                         "stitches the current one)")
     r.add_argument("--shuffle-mode", default="auto",
-                   choices=["auto", "parent", "mesh"],
+                   choices=["auto", "parent", "mesh", "tcp"],
                    help="shuffle plane for the pool executor: 'parent' "
                         "routes fragment runs through the parent, 'mesh' "
                         "exchanges them worker-to-worker over direct "
                         "shared-memory edge rings (the parent becomes a "
-                        "pure control plane), 'auto' picks mesh whenever "
-                        "the reduce runs on workers; the image is "
-                        "bitwise-identical either way")
+                        "pure control plane), 'tcp' streams the same "
+                        "records worker-to-worker over AF_UNIX/TCP "
+                        "sockets (the multi-host plane; requires "
+                        "--reduce-mode worker), 'auto' picks mesh "
+                        "whenever the reduce runs on workers; the image "
+                        "is bitwise-identical on every plane")
+    r.add_argument("--host-spec", default=None,
+                   help="socket-plane host placement (tcp shuffle only): "
+                        "an int spreads workers round-robin over that "
+                        "many simulated hosts; a comma-separated list "
+                        "like '0,0,1,1' assigns each worker a host id. "
+                        "Host 0 holds the shared-memory arena; workers "
+                        "on other hosts get chunk payloads over the "
+                        "wire instead of attaching the arena")
     r.add_argument("--pin-workers", action="store_true",
                    help="pin each pool worker to its own core "
                         "(os.sched_setaffinity) before it allocates its "
@@ -207,6 +218,7 @@ def _cmd_render(args) -> int:
         reduce_mode=args.reduce_mode,
         pipeline_depth=args.pipeline_depth,
         shuffle_mode=args.shuffle_mode,
+        host_spec=args.host_spec,
         pin_workers=args.pin_workers,
         supervise=args.supervise,
         max_frame_retries=args.max_frame_retries,

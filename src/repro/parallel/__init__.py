@@ -38,8 +38,12 @@ exchange (the          **shuffle plane**: ``shuffle_mode="mesh"`` moves
 interconnect)          runs worker↔worker over an N×N mesh of SPSC edge
                        rings (records tagged frame/chunk/partition), so
                        the parent is a pure control plane and zero run
-                       bytes cross it; ``"parent"`` is the routed legacy
-                       plane; ``"auto"`` picks mesh when workers reduce.
+                       bytes cross it; ``"tcp"``
+                       (:mod:`~repro.parallel.socketplane`) streams the
+                       same records over AF_UNIX/TCP sockets for the
+                       multi-host regime; ``"parent"`` is the routed
+                       legacy plane; ``"auto"`` picks mesh when workers
+                       reduce.
                        ``pin_workers=True`` pins workers to cores before
                        they allocate their inbound edges (NUMA locality)
 async overlap (§7)     ``pipeline_depth>1``: ``submit``/``collect`` keep
@@ -75,6 +79,7 @@ from .pool import (
     PoolConfig,
     SharedMemoryPoolExecutor,
     default_pool_workers,
+    parse_host_spec,
     usable_cores,
 )
 from .ring import RingTimeout, ShmRing
@@ -90,7 +95,14 @@ from .shuffle import (
     ENV_WATERMARK_TIMEOUT,
     MeshShuffle,
     ParentRoutedShuffle,
+    SocketShuffle,
     WorkerMesh,
+)
+from .socketplane import (
+    ENV_SOCKET_FAMILY,
+    SocketClosed,
+    SocketMesh,
+    socket_path,
 )
 from .supervise import PoolFailure, PoolSupervisor
 from .worker import FrameContext, map_chunk_to_runs
@@ -106,6 +118,7 @@ __all__ = [
     "ENV_RETRY_BACKOFF",
     "ENV_RING_WRITE_TIMEOUT",
     "ENV_SHUFFLE_MODE",
+    "ENV_SOCKET_FAMILY",
     "ENV_WATERMARK_TIMEOUT",
     "FaultPlan",
     "FaultRule",
@@ -117,14 +130,19 @@ __all__ = [
     "PoolFailure",
     "PoolSupervisor",
     "default_pool_workers",
+    "parse_host_spec",
     "RingTimeout",
     "SharedMemoryPoolExecutor",
     "ShmArena",
     "ShmRing",
+    "SocketClosed",
+    "SocketMesh",
+    "SocketShuffle",
     "WorkerMesh",
     "map_chunk_to_runs",
     "merge_partition_runs",
     "shm_segment_exists",
+    "socket_path",
     "split_runs",
     "usable_cores",
 ]

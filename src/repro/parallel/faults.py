@@ -16,6 +16,12 @@ string (so it travels through ``PoolConfig.fault_plan``, the
     stage  := 'map' | 'shuffle-out' | 'shuffle-in' | 'reduce'
     cond   := ('worker'|'frame'|'chunk') '=' int | 'gen' '=' ( int | 'any' )
 
+Condition values are validated at parse time: ``frame`` is the
+pipeline frame sequence number in **1-based submission order** (the
+first submitted frame is ``frame=1``), so ``frame=0`` — a rule that
+could never fire — is rejected, as are negative ``worker``/``chunk``
+ids and non-integer ``exit()`` codes.
+
 Examples::
 
     crash@map:worker=1,frame=2          # hard-kill worker 1 mapping frame 2
@@ -162,6 +168,12 @@ def _parse_rule(text: str) -> FaultRule:
             f"fault rule {text!r}: crash takes no argument (use exit(code) "
             "for a chosen status)"
         )
+    elif action == "exit" and arg is not None and arg != int(arg):
+        # Exit statuses are integers; silently truncating exit(3.5) to 3
+        # would make the observed exitcode disagree with the plan.
+        raise ValueError(
+            f"fault rule {text!r}: exit code {raw_arg!r} is not an integer"
+        )
     fields = {"worker": None, "frame": None, "chunk": None, "gen": 0}
     conds = m.group("conds")
     if conds:
@@ -188,6 +200,20 @@ def _parse_rule(text: str) -> FaultRule:
                     f"fault rule {text!r}: condition {key}={value!r} "
                     "is not an integer"
                 ) from None
+            # Frames are 1-based submission order: frame=0 (or below)
+            # can never match, so a rule carrying it is a typo that
+            # would otherwise silently never fire.  worker/chunk/gen
+            # ids are 0-based and cannot be negative.
+            if key == "frame" and fields[key] < 1:
+                raise ValueError(
+                    f"fault rule {text!r}: frame={value} can never fire — "
+                    "frames are numbered from 1 in submission order"
+                )
+            if key in ("worker", "chunk", "gen") and fields[key] < 0:
+                raise ValueError(
+                    f"fault rule {text!r}: condition {key}={value} "
+                    "must be >= 0"
+                )
     return FaultRule(action=action, stage=stage, arg=arg, **fields)
 
 

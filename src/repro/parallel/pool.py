@@ -37,8 +37,29 @@ Shuffle plane (``shuffle_mode``, see :mod:`repro.parallel.shuffle`):
   Materializes only under ``reduce_mode="worker"``; with a parent-side
   reduce every run's destination *is* the parent, so the uplink rings
   already are the direct path.
+* ``"tcp"`` — :class:`~repro.parallel.shuffle.SocketShuffle`: the same
+  direct worker↔worker exchange over byte streams (AF_UNIX on one
+  host, loopback TCP otherwise; see
+  :mod:`repro.parallel.socketplane`) — the off-box plane.  The parent
+  holds **zero** data sockets; like the mesh it is a pure control
+  plane with ``parent_run_bytes == 0``, and with a ``host_spec`` the
+  workers can be placed on separate "hosts" where chunk payloads ride
+  the task queues instead of the shm arena.  Materializes under
+  ``reduce_mode="worker"`` only, like the mesh.
 * ``"auto"`` (default) — ``$REPRO_SHUFFLE_MODE`` if set, else mesh
-  exactly when the reduce runs on workers.
+  exactly when the reduce runs on workers (never tcp: on one box the
+  shm mesh strictly dominates; the socket plane is an explicit
+  opt-in for the off-box regime).
+
+Host placement (``host_spec``, tcp plane only): ``None`` (default)
+puts every worker on host 0, where the shared-memory arena lives.  An
+int ``n`` round-robins workers over ``n`` hosts; an explicit list
+(``"0,0,1,1"`` on the CLI) pins each worker.  Workers on host 0 map
+chunks zero-copy from the arena exactly as before; workers on other
+hosts receive their chunk payloads *inline in the map message* and
+their frame context with the transfer-function table inline — no
+shared segment is assumed to exist between hosts, which is the whole
+point.  Outputs are bitwise-identical regardless of placement.
 
 Outputs are bitwise-identical across shuffle modes × reduce modes ×
 pipeline depths *by construction*: both planes deliver the same
@@ -143,9 +164,11 @@ from .shuffle import (
     MeshShuffle,
     ParentRoutedShuffle,
     PoolConfig,
+    SocketShuffle,
     mesh_edge_name,
     mesh_fd_headroom,
 )
+from .socketplane import socket_path
 from .supervise import (
     PoolFailure,
     PoolSupervisor,
@@ -160,6 +183,7 @@ __all__ = [
     "PoolConfig",
     "SharedMemoryPoolExecutor",
     "default_pool_workers",
+    "parse_host_spec",
     "usable_cores",
 ]
 
@@ -176,6 +200,55 @@ def default_pool_workers(n_gpus: int) -> int:
     """The renderer's pool-size policy: one worker per simulated GPU,
     capped to the cores actually available."""
     return max(1, min(n_gpus, usable_cores()))
+
+
+def parse_host_spec(host_spec, workers: int) -> list:
+    """Per-worker host ids from a ``host_spec`` (see the module docstring).
+
+    ``None`` → all on host 0.  An int (or numeric string) ``n`` → worker
+    ``wi`` on host ``wi % n``.  A comma-separated list (``"0,0,1,1"``)
+    or sequence pins each worker explicitly; its length must match the
+    pool size.  Host 0 must be populated — it is where the shared arena
+    lives and where chunk payloads are mapped zero-copy.
+    """
+    workers = int(workers)
+    if host_spec is None:
+        return [0] * workers
+    if isinstance(host_spec, str):
+        host_spec = host_spec.strip()
+        if "," in host_spec:
+            host_spec = [part.strip() for part in host_spec.split(",")]
+        else:
+            try:
+                host_spec = int(host_spec)
+            except ValueError:
+                raise ValueError(
+                    f"host_spec {host_spec!r} is neither a host count nor "
+                    "a comma-separated per-worker host list"
+                ) from None
+    if isinstance(host_spec, int):
+        if host_spec < 1:
+            raise ValueError("host_spec host count must be at least 1")
+        return [wi % host_spec for wi in range(workers)]
+    try:
+        ids = [int(h) for h in host_spec]
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"host_spec {host_spec!r} must be an int, a comma-separated "
+            "list, or a sequence of host ids"
+        ) from None
+    if len(ids) != workers:
+        raise ValueError(
+            f"host_spec lists {len(ids)} host id(s) for {workers} worker(s)"
+        )
+    if any(h < 0 for h in ids):
+        raise ValueError("host_spec host ids must be >= 0")
+    if 0 not in ids:
+        raise ValueError(
+            "host_spec must place at least one worker on host 0 "
+            "(the host holding the shared-memory arena)"
+        )
+    return ids
 
 
 def _cleanup(state: dict) -> None:
@@ -232,6 +305,15 @@ def _cleanup(state: dict) -> None:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - unlink race
                 pass
+        # Same crash-safe sweep for the tcp plane's AF_UNIX listener
+        # paths: deterministic (pool token + worker id), recorded
+        # before forking, so a worker killed mid-handshake cannot leak
+        # its socket file.
+        for path in state.pop("socket_paths", []):
+            try:
+                os.unlink(path)
+            except (FileNotFoundError, OSError):
+                pass
         arena = state.pop("arena", None)
         if arena is not None:
             arena.close()
@@ -261,6 +343,7 @@ class PendingFrame:
         "map_received",
         "queue_fallbacks",
         "parent_run_bytes",
+        "wire_bytes",
         "sealed",
         "outputs",
         "pairs_per_reducer",
@@ -291,6 +374,7 @@ class PendingFrame:
         self.map_received = 0
         self.queue_fallbacks = 0
         self.parent_run_bytes = 0  # run bytes that crossed the parent
+        self.wire_bytes = 0  # bytes on the wire (tcp plane, headers incl.)
         self.sealed = False
         self.outputs: list = [None] * spec.n_reducers
         self.pairs_per_reducer = np.zeros(spec.n_reducers, dtype=np.int64)
@@ -320,6 +404,7 @@ class PendingFrame:
         self.map_received = 0
         self.queue_fallbacks = 0
         self.parent_run_bytes = 0
+        self.wire_bytes = 0
         self.sealed = False
         self.outputs = [None] * self.spec.n_reducers
         self.pairs_per_reducer = np.zeros(self.spec.n_reducers, dtype=np.int64)
@@ -358,9 +443,23 @@ class SharedMemoryPoolExecutor:
         means fully synchronous.  ``execute`` is unaffected by values
         > 1 unless frames are also submitted asynchronously.
     shuffle_mode:
-        ``"parent"``, ``"mesh"``, or ``"auto"`` (default) — which
-        shuffle plane moves fragment runs between processes; see the
-        module docstring.  Bitwise-identical output either way.
+        ``"parent"``, ``"mesh"``, ``"tcp"``, or ``"auto"`` (default) —
+        which shuffle plane moves fragment runs between processes; see
+        the module docstring.  Bitwise-identical output either way.
+    socket_family:
+        Address family of the tcp plane's edge streams: ``"unix"``
+        (default where available) or ``"inet"`` (loopback TCP);
+        ``None`` reads ``$REPRO_SOCKET_FAMILY``.  Ignored by the
+        other planes.
+    host_spec:
+        Worker→host placement for the tcp plane (``None``: everything
+        on host 0).  An int round-robins workers across that many
+        hosts; a comma-separated string or sequence pins each worker.
+        Hosts other than 0 get chunk payloads over the wire instead of
+        the shm arena (see the module docstring); any multi-host spec
+        requires the socket plane (``shuffle_mode="tcp"`` with
+        ``reduce_mode="worker"``), because every other transport
+        assumes one shared-memory box.
     pin_workers:
         Opt-in NUMA/core pinning (see module docstring).
     ring_write_timeout:
@@ -414,6 +513,8 @@ class SharedMemoryPoolExecutor:
         reduce_mode: str = "parent",
         pipeline_depth: int = 1,
         shuffle_mode: Optional[str] = None,
+        socket_family: Optional[str] = None,
+        host_spec=None,
         pin_workers: Optional[bool] = None,
         ring_write_timeout: Optional[float] = None,
         mesh_edge_capacity: Optional[int] = None,
@@ -438,6 +539,7 @@ class SharedMemoryPoolExecutor:
             for k, v in {
                 "ring_capacity": ring_capacity,
                 "shuffle_mode": shuffle_mode,
+                "socket_family": socket_family,
                 "pin_workers": pin_workers,
                 "ring_write_timeout": ring_write_timeout,
                 "mesh_edge_capacity": mesh_edge_capacity,
@@ -483,6 +585,22 @@ class SharedMemoryPoolExecutor:
                     stacklevel=2,
                 )
                 self.shuffle_mode = "parent"
+        # Socket-plane placement: resolved (and validated) here so a
+        # bad host spec or family fails at construction, like every
+        # other transport knob.
+        self.host_ids = parse_host_spec(host_spec, self.workers)
+        self.multi_host = len(set(self.host_ids)) > 1
+        self.socket_family = (
+            self.pool_config.resolved_socket_family()
+            if self.tcp_active
+            else None
+        )
+        if self.multi_host and not self.tcp_active:
+            raise ValueError(
+                "a multi-host host_spec requires the socket shuffle plane "
+                "(shuffle_mode='tcp' with reduce_mode='worker'): every "
+                "other transport assumes one shared-memory box"
+            )
         self.ring_write_timeout = self.pool_config.resolved_ring_write_timeout()
         self.mesh_edge_capacity = self.pool_config.resolved_edge_capacity(
             self.workers
@@ -543,11 +661,26 @@ class SharedMemoryPoolExecutor:
         )
 
     @property
+    def tcp_active(self) -> bool:
+        """Whether the socket (tcp) data plane materializes — same rule
+        as :attr:`mesh_active`: only when workers reduce (a parent-side
+        reduce makes the uplink rings the direct path already) and the
+        pool is not serial."""
+        return (
+            self.shuffle_mode == "tcp"
+            and self.reduce_mode == "worker"
+            and not self.serial
+        )
+
+    @property
     def effective_shuffle_mode(self) -> str:
-        """The plane that actually carries run bytes: ``"mesh"`` only
-        when the mesh materializes (see :attr:`mesh_active`), else
-        ``"parent"`` — always agrees with what
-        ``JobStats.ring["shuffle_mode"]`` reports."""
+        """The plane that actually carries run bytes: ``"mesh"``/``"tcp"``
+        only when that direct plane materializes (see
+        :attr:`mesh_active` / :attr:`tcp_active`), else ``"parent"`` —
+        always agrees with what ``JobStats.ring["shuffle_mode"]``
+        reports."""
+        if self.tcp_active:
+            return "tcp"
         return "mesh" if self.mesh_active else "parent"
 
     def _worker_pins(self) -> list:
@@ -596,12 +729,15 @@ class SharedMemoryPoolExecutor:
             pass
         pins = self._worker_pins()
         mesh_active = self.mesh_active
+        tcp_active = self.tcp_active
+        direct_plane = mesh_active or tcp_active
         # Uplink rings exist only on the parent-routed plane; on the
-        # mesh every run byte travels worker<->worker edges, so the
-        # uplinks would be N dead full-capacity segments.
+        # direct planes (mesh, tcp) every run byte travels
+        # worker<->worker edges, so the uplinks would be N dead
+        # full-capacity segments.
         rings = (
             []
-            if mesh_active
+            if direct_plane
             else [
                 ShmRing.create(self.ring_capacity)
                 for _ in range(self.workers)
@@ -621,6 +757,17 @@ class SharedMemoryPoolExecutor:
                 for j in range(self.workers)
                 if i != j
             ]
+        socket_token = None
+        if tcp_active:
+            # Same crash-safe trick for the socket plane: AF_UNIX
+            # listener paths are deterministic and recorded pre-fork,
+            # so teardown can sweep them no matter when a worker died.
+            socket_token = uuid.uuid4().hex[:12]
+            if self.socket_family == "unix":
+                self._state["socket_paths"] = [
+                    socket_path(socket_token, wi)
+                    for wi in range(self.workers)
+                ]
         spawn_gen = self._spawn_gen
         self._spawn_gen += 1
         procs = []
@@ -633,6 +780,13 @@ class SharedMemoryPoolExecutor:
                 "n_workers": self.workers,
                 "edge_capacity": self.mesh_edge_capacity,
                 "mesh_token": mesh_token,
+                "socket_active": tcp_active,
+                "socket_token": socket_token,
+                "socket_family": self.socket_family,
+                # Off-host workers (host != 0) never receive arena
+                # messages; their chunk payloads and TF table ride the
+                # task queues instead.
+                "host_id": self.host_ids[wi],
                 "fault_plan": self.fault_plan,
                 # Fault rules default to generation 0, so a respawned
                 # wave does not re-trip the fault that killed its
@@ -651,7 +805,7 @@ class SharedMemoryPoolExecutor:
                     wi,
                     task_queues[wi],
                     self._result_queue,
-                    rings[wi].name if not mesh_active else None,
+                    rings[wi].name if not direct_plane else None,
                     cfg,
                 ),
                 daemon=True,
@@ -663,10 +817,14 @@ class SharedMemoryPoolExecutor:
             procs=procs, task_queues=task_queues, rings=rings
         )
         # The plane owns the data path; it finishes its own transport
-        # bring-up (the mesh edge handshake) before any frame flows.
-        self._plane = (
-            MeshShuffle(self) if mesh_active else ParentRoutedShuffle(self)
-        )
+        # bring-up (the mesh edge / socket address handshake) before
+        # any frame flows.
+        if tcp_active:
+            self._plane = SocketShuffle(self)
+        elif mesh_active:
+            self._plane = MeshShuffle(self)
+        else:
+            self._plane = ParentRoutedShuffle(self)
         self._plane.start()
 
     def close(self) -> None:
@@ -769,6 +927,11 @@ class SharedMemoryPoolExecutor:
                     self.mesh_edge_capacity = (
                         self.pool_config.resolved_edge_capacity(self.workers)
                     )
+                    # Shedding the last worker of a host may collapse a
+                    # multi-host placement back to single-host — then
+                    # everyone attaches the arena again.
+                    self.host_ids = self.host_ids[: self.workers]
+                    self.multi_host = len(set(self.host_ids)) > 1
                     self._supervisor.record_degraded(old, self.workers)
                     for f in frames:
                         f.retries = 0  # fresh budget at the new width
@@ -834,9 +997,8 @@ class SharedMemoryPoolExecutor:
             return
         for f in sorted(frames, key=lambda f: f.seq):
             self._publish(f.spec, f.chunks)
-            payload = self._frame_payload(f.spec, f.n)
-            for q in self._state["task_queues"]:
-                q.put(("frame", payload))
+            arena_payload, wire_payload = self._frame_payloads(f.spec, f.n)
+            self._put_frame(arena_payload, wire_payload)
             for ci, chunk in enumerate(f.chunks):
                 wi = (
                     int(f.chunk_to_gpu[ci])
@@ -844,15 +1006,7 @@ class SharedMemoryPoolExecutor:
                     else ci
                 ) % self.workers
                 self._state["task_queues"][wi].put(
-                    (
-                        "map",
-                        f.seq,
-                        ci,
-                        chunk.id,
-                        chunk.nbytes,
-                        chunk.on_disk,
-                        chunk.meta,
-                    )
+                    self._map_message(f.seq, ci, chunk, wi)
                 )
             self._seal(f)
         self._supervisor.record_reexecuted(len(frames))
@@ -864,6 +1018,17 @@ class SharedMemoryPoolExecutor:
         self.close()
 
     # -- data publication --------------------------------------------------
+    def _arena_queues(self) -> list:
+        """Task queues of the workers that attach the shm arena — host-0
+        workers only.  Off-host workers must never see an arena spec
+        (there is, by definition, no shared segment on their host);
+        their data rides the queues instead."""
+        return [
+            q
+            for wi, q in enumerate(self._state["task_queues"])
+            if self.host_ids[wi] == 0
+        ]
+
     def _publish(self, spec: MapReduceSpec, chunks: Sequence[Chunk]) -> None:
         """(Re)publish the chunk payload + transfer-function arena.
 
@@ -918,7 +1083,7 @@ class SharedMemoryPoolExecutor:
                 # frame's maps have drained.
                 with span("publish", cat="publish", rebroadcast=True):
                     arena = self._state["arena"]
-                    for q in self._state["task_queues"]:
+                    for q in self._arena_queues():
                         q.put(("arena", arena.spec))
                 self._arena_rebroadcast = False
                 self._arena_rebroadcasts += 1
@@ -950,7 +1115,7 @@ class SharedMemoryPoolExecutor:
             nbytes = sum(int(a.nbytes) for a in arrays.values())
             sp.set(bytes=nbytes)
             arena = ShmArena(arrays)
-            for q in self._state["task_queues"]:
+            for q in self._arena_queues():
                 q.put(("arena", arena.spec))
             old = self._state.get("arena")
             if old is not None:
@@ -961,26 +1126,68 @@ class SharedMemoryPoolExecutor:
         self._arena_publishes += 1
         self._arena_bytes_published += nbytes
 
-    def _frame_payload(self, spec: MapReduceSpec, n_chunks: int) -> bytes:
-        """Pickle the frame context, with the TF table left in the arena.
+    def _frame_payloads(self, spec: MapReduceSpec, n_chunks: int) -> tuple:
+        """Pickle the frame context: ``(arena_payload, wire_payload)``.
 
-        ``n_chunks`` rides along so mesh reducers know each frame's
-        completion watermark without another control message.
+        The arena payload strips the TF table (it travels via shared
+        memory; ``tf_ref`` tells the worker to rebind the arena view).
+        The wire payload — built only for multi-host pools — keeps the
+        table inline and leaves ``tf_ref`` unset, because an off-host
+        worker has no arena to rebind from; it is ``None`` otherwise.
+        ``n_chunks`` rides along so direct-plane reducers know each
+        frame's completion watermark without another control message.
         """
         ctx = FrameContext.from_spec(
             spec,
             include_reducer=self.reduce_mode == "worker",
             n_chunks=n_chunks,
         )
+        wire = (
+            pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+            if self.multi_host
+            else None
+        )
         tf = getattr(spec.mapper, "tf", None)
         if tf is not None and getattr(tf, "version", None) is not None:
             ctx.tf_ref = (tf.vmin, tf.vmax)
             try:
                 spec.mapper.tf = None  # table travels via shared memory
-                return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+                return (
+                    pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL),
+                    wire,
+                )
             finally:
                 spec.mapper.tf = tf
-        return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(ctx, protocol=pickle.HIGHEST_PROTOCOL), wire
+
+    def _put_frame(self, arena_payload: bytes, wire_payload) -> None:
+        """Enqueue the frame context on every task queue, picking the
+        wire flavor for off-host workers."""
+        for wi, q in enumerate(self._state["task_queues"]):
+            q.put(
+                (
+                    "frame",
+                    wire_payload
+                    if self.host_ids[wi] != 0 and wire_payload is not None
+                    else arena_payload,
+                )
+            )
+
+    def _map_message(self, frame_seq: int, ci: int, chunk: Chunk, wi: int):
+        """One map task message.  Off-host targets get the chunk payload
+        inline (there is no shared arena on their host); host-0 targets
+        get ``None`` and map the arena view zero-copy as always."""
+        payload = chunk.payload() if self.host_ids[wi] != 0 else None
+        return (
+            "map",
+            frame_seq,
+            ci,
+            chunk.id,
+            chunk.nbytes,
+            chunk.on_disk,
+            chunk.meta,
+            payload,
+        )
 
     # -- async frame pipeline ----------------------------------------------
     def submit(
@@ -1029,24 +1236,17 @@ class SharedMemoryPoolExecutor:
             while len(self._pending) >= self.pipeline_depth:
                 self._collect_oldest()
             self._publish(spec, chunks)
-            payload = self._frame_payload(spec, len(chunks))
-            for q in self._state["task_queues"]:
-                q.put(("frame", payload))
+            arena_payload, wire_payload = self._frame_payloads(
+                spec, len(chunks)
+            )
+            self._put_frame(arena_payload, wire_payload)
             frame = PendingFrame(self._seq + 1, spec, chunks, chunk_to_gpu)
             for ci, chunk in enumerate(chunks):
                 wi = (
                     int(chunk_to_gpu[ci]) if chunk_to_gpu is not None else ci
                 ) % self.workers
                 self._state["task_queues"][wi].put(
-                    (
-                        "map",
-                        frame.seq,
-                        ci,
-                        chunk.id,
-                        chunk.nbytes,
-                        chunk.on_disk,
-                        chunk.meta,
-                    )
+                    self._map_message(frame.seq, ci, chunk, wi)
                 )
             # Register (and burn the seq) only once every message is
             # enqueued: if anything above failed, the partial messages
@@ -1169,6 +1369,13 @@ class SharedMemoryPoolExecutor:
             # An oversized mesh record taking the control-plane escape
             # hatch; the plane relays it to its owner (and counts it).
             self._plane.on_fallback(self._pending[msg[2]], msg)
+        elif kind == "shuffle_stats":
+            # Cumulative socket-plane counters, shipped FIFO just ahead
+            # of the sender's reduce result; only the tcp plane emits
+            # (and consumes) them.
+            on_stats = getattr(self._plane, "on_worker_stats", None)
+            if on_stats is not None:
+                on_stats(msg[1], msg[2])
         elif kind == "reduced":
             _, wi, seq, owned, outputs, pairs_per_reducer = msg
             frame = self._pending[seq]

@@ -4,8 +4,8 @@ The paper's GPUs exchange emitted fragments *directly* over the
 interconnect during the shuffle into Sort/Reduce; the parent CPU only
 orchestrates.  This module makes that separation explicit for the pool
 executor: all inter-process movement of run bytes is owned by a
-**shuffle plane** with two interchangeable implementations, selected by
-``shuffle_mode``:
+**shuffle plane** with three interchangeable implementations, selected
+by ``shuffle_mode``:
 
 ``ParentRoutedShuffle`` (``"parent"``)
     The PR-2/PR-3 layout, refactored behind the plane interface: every
@@ -29,7 +29,20 @@ executor: all inter-process movement of run bytes is owned by a
     unlinked by the parent, preserving the zero-leak teardown
     guarantee even when a worker dies mid-shuffle.
 
-Both planes feed byte-identical, chunk-ordered runs into the identical
+``SocketShuffle`` (``"tcp"``)
+    The same direct worker↔worker exchange over **byte streams**
+    (AF_UNIX on one host, loopback TCP otherwise — see
+    :mod:`repro.parallel.socketplane`) instead of shared-memory rings:
+    the off-box plane.  Identical record protocol, watermarks, and
+    cooperative drain; no shared segment is required, so with a
+    ``host_spec`` the executor can place workers on separate "hosts"
+    and ship chunk payloads over the wire instead of the shm arena.
+    Streams have no record-size cliff, so the tcp plane has *no*
+    queue-fallback path and ``parent_run_bytes`` is structurally zero.
+    A dropped connection surfaces as a recoverable
+    :class:`~repro.parallel.socketplane.SocketClosed`.
+
+All planes feed byte-identical, chunk-ordered runs into the identical
 reducer code, so outputs are bitwise-equal across planes by
 construction — the plane only decides *which processes the bytes
 traverse*.
@@ -96,6 +109,7 @@ __all__ = [
     "MeshShuffle",
     "ParentRoutedShuffle",
     "PoolConfig",
+    "SocketShuffle",
     "WorkerMesh",
 ]
 
@@ -201,13 +215,21 @@ class PoolConfig:
         ``None`` reads ``$REPRO_RING_WRITE_TIMEOUT``, falling back to
         :data:`DEFAULT_RING_WRITE_TIMEOUT`.
     shuffle_mode:
-        ``"parent"``, ``"mesh"``, or ``"auto"`` (default).  Auto reads
-        ``$REPRO_SHUFFLE_MODE`` if set, else picks ``"mesh"`` when the
-        reduce runs on workers (where direct exchange pays) and
-        ``"parent"`` otherwise.  Note the mesh data plane only
-        materializes under ``reduce_mode="worker"`` — with a
+        ``"parent"``, ``"mesh"``, ``"tcp"``, or ``"auto"`` (default).
+        Auto reads ``$REPRO_SHUFFLE_MODE`` if set, else picks
+        ``"mesh"`` when the reduce runs on workers (where direct
+        exchange pays) and ``"parent"`` otherwise — auto never picks
+        ``"tcp"``, because on one shared-memory box the shm mesh
+        strictly dominates it; the socket plane is an explicit opt-in
+        for the off-box regime.  Note the direct data planes (mesh,
+        tcp) only materialize under ``reduce_mode="worker"`` — with a
         parent-side reduce every run's destination *is* the parent, so
         the uplink rings already are the direct path.
+    socket_family:
+        Address family of the tcp plane's edge streams: ``"unix"``
+        (AF_UNIX, default where available) or ``"inet"`` (loopback
+        TCP).  ``None`` reads ``$REPRO_SOCKET_FAMILY``.  Ignored by
+        the other planes.
     pin_workers:
         Opt-in NUMA/core pinning: give each worker its own core via
         ``os.sched_setaffinity`` before it allocates its inbound mesh
@@ -252,6 +274,7 @@ class PoolConfig:
     mesh_edge_capacity: Optional[int] = None
     ring_write_timeout: Optional[float] = None
     shuffle_mode: str = "auto"
+    socket_family: Optional[str] = None
     pin_workers: bool = False
     watermark_timeout: Optional[float] = None
     supervise: bool = True
@@ -269,8 +292,15 @@ class PoolConfig:
                 f"mesh edge capacity must exceed the {MESH_HEADER_NBYTES}-byte "
                 "record header"
             )
-        if self.shuffle_mode not in ("auto", "parent", "mesh"):
+        if self.shuffle_mode not in ("auto", "parent", "mesh", "tcp"):
             raise ValueError(f"unknown shuffle_mode {self.shuffle_mode!r}")
+        if self.socket_family is not None and self.socket_family not in (
+            "unix",
+            "inet",
+        ):
+            raise ValueError(
+                f"socket family {self.socket_family!r} must be 'unix' or 'inet'"
+            )
         if self.ring_write_timeout is not None and self.ring_write_timeout <= 0:
             raise ValueError("ring write timeout must be positive")
         if self.watermark_timeout is not None and self.watermark_timeout <= 0:
@@ -376,13 +406,22 @@ class PoolConfig:
         if mode == "auto":
             env = os.environ.get(ENV_SHUFFLE_MODE, "").strip()
             if env:
-                if env not in ("parent", "mesh"):
+                if env not in ("parent", "mesh", "tcp"):
                     raise ValueError(
-                        f"${ENV_SHUFFLE_MODE}={env!r} must be 'parent' or 'mesh'"
+                        f"${ENV_SHUFFLE_MODE}={env!r} must be 'parent', "
+                        "'mesh', or 'tcp'"
                     )
                 return env
+            # Auto never picks tcp: on one box the shm mesh dominates.
             return "mesh" if reduce_mode == "worker" else "parent"
         return mode
+
+    def resolved_socket_family(self) -> str:
+        """Explicit > ``$REPRO_SOCKET_FAMILY`` > ``"unix"`` where
+        AF_UNIX exists, else ``"inet"`` (validated either way)."""
+        from .socketplane import resolve_socket_family
+
+        return resolve_socket_family(self.socket_family)
 
     def shuffle_mode_is_explicit(self) -> bool:
         """Whether a plane was deliberately pinned — by the config/kwarg
@@ -811,4 +850,124 @@ class MeshShuffle:
             "mesh_bytes_total": total_bytes,
             "ring_capacity": self.pool.mesh_edge_capacity,
             "per_edge": per_edge,
+        }
+
+
+class SocketShuffle:
+    """Direct worker↔worker transport over byte streams (the ``tcp``
+    plane): the parent is a pure control plane holding **zero** data
+    sockets — it collects each worker's listener address, broadcasts
+    the address map, and from then on only sees completion messages
+    and per-worker traffic counters.  There is no oversized-record
+    fallback (streams have no capacity cliff), so ``parent_run_bytes``
+    is structurally zero — the acceptance counter the soak suite
+    asserts on.
+    """
+
+    mode = "tcp"
+
+    def __init__(self, pool):
+        self.pool = pool
+        # Cumulative per-worker counters shipped with each reduce
+        # ("shuffle_stats" messages) and the previous-collect baseline,
+        # so frame_stats exports deltas with the same "since previous
+        # collect" windowing as the ring/edge planes.
+        self._latest: Dict[int, dict] = {}
+        self._base: Dict[int, dict] = {}
+
+    def start(self) -> None:
+        """Run the address handshake: collect every worker's listener
+        address (the listener is created worker-side, before anything
+        is reported, so no connect can race it), then broadcast the
+        full map — each worker dials every peer exactly once.  Raises,
+        tearing the pool down, if a worker dies or misbehaves first."""
+        pool = self.pool
+        n = pool.workers
+        addresses: Dict[int, object] = {}
+        while len(addresses) < n:
+            msg = pool._recv(timeout=1.0)
+            if msg is None:
+                continue
+            kind = msg[0]
+            if kind == "error":
+                _, wi, what, tb, etype = msg
+                raise worker_error_to_exception(wi, what, tb, etype)
+            if kind != "socket_ready":  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"unexpected {kind!r} message during the socket handshake"
+                )
+            _, wi, addr = msg
+            addresses[int(wi)] = addr
+        for q in pool._state["task_queues"]:
+            q.put(("socket_attach", dict(addresses)))
+
+    # -- data-plane events -------------------------------------------------
+    def on_map_done(self, frame, wi, ci, routed, ring_nbytes, inline) -> None:
+        # Run bytes traveled the sockets; the completion message's
+        # ring_nbytes field carries the sender's bytes-on-wire for this
+        # map (headers included, self-owned runs excluded).
+        frame.wire_bytes += int(ring_nbytes)
+
+    def on_fallback(self, frame, msg) -> None:  # pragma: no cover
+        raise RuntimeError(
+            "mesh_fallback message received on the tcp plane "
+            "(streams have no record-size limit)"
+        )
+
+    def dispatch_reduce(self, frame) -> None:
+        """Pure control plane: announce which partitions each worker
+        reduces; the runs are already in (or on the wire toward) the
+        owner's inbound streams."""
+        pool = self.pool
+        shuf = ShuffleSpec(frame.spec.n_reducers, pool.workers)
+        for wi in range(pool.workers):
+            owned = shuf.owned_partitions(wi)
+            if not owned:
+                continue
+            pool._state["task_queues"][wi].put(
+                ("reduce", frame.seq, owned, None)
+            )
+
+    def on_worker_stats(self, wi: int, counters: dict) -> None:
+        """Absorb one worker's cumulative socket counters (shipped just
+        ahead of its reduce result on the FIFO result queue)."""
+        self._latest[int(wi)] = dict(counters)
+
+    def frame_stats(self, frame) -> dict:
+        """JobStats.ring schema for the tcp plane: per-worker stall and
+        traffic deltas since the previous collect, total bytes-on-wire
+        for this frame, and the structural zeroes (queue fallbacks,
+        parent-touched run bytes) the parity suite asserts on.
+        ``ring_capacity`` is None — streams have no fixed capacity."""
+        per_worker = []
+        for wi in sorted(self._latest):
+            now = self._latest[wi]
+            base = self._base.get(wi, {k: 0 for k in now})
+            per_worker.append(
+                {
+                    "worker": wi,
+                    "stall_seconds": now["stall_seconds"]
+                    - base["stall_seconds"],
+                    "stall_events": now["stall_events"]
+                    - base["stall_events"],
+                    "high_water_bytes": now["high_water_bytes"],
+                    "bytes_sent": now["bytes_sent"] - base["bytes_sent"],
+                    "bytes_received": now["bytes_received"]
+                    - base["bytes_received"],
+                }
+            )
+            self._base[wi] = now
+        return {
+            "shuffle_mode": self.mode,
+            "stall_seconds": sum(w["stall_seconds"] for w in per_worker),
+            "stall_events": sum(w["stall_events"] for w in per_worker),
+            "high_water_bytes": max(
+                (w["high_water_bytes"] for w in per_worker), default=0
+            ),
+            "queue_fallbacks": frame.queue_fallbacks,
+            "parent_run_bytes": frame.parent_run_bytes,
+            "wire_bytes_total": frame.wire_bytes,
+            "socket_family": self.pool.socket_family,
+            "ring_capacity": None,
+            "per_worker": per_worker,
         }

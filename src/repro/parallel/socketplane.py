@@ -1,0 +1,471 @@
+"""Socket transport for the ``tcp`` shuffle plane.
+
+The shm mesh (:class:`~repro.parallel.shuffle.WorkerMesh`) assumes every
+worker can map the same ``/dev/shm`` segments — one box.  This module
+carries the *identical* record protocol over byte streams instead, so
+the same worker↔worker fragment exchange works when workers live on
+separate "hosts" (separate processes with no shared segment): each
+worker owns one listening socket, every peer holds one outbound
+connection to it, and a ``(chunk, partition)`` run travels as::
+
+    [ 32-byte header: u64 seq | u64 chunk | u64 partition | u64 nbytes ]
+    [ nbytes of raw KV pairs (the run, in emission order) ]
+
+— the exact :data:`~repro.parallel.shuffle.MESH_HEADER_DTYPE` layout of
+a mesh edge record, so per-frame completion watermarks (``n_chunks ×
+owned`` records, empty runs included), chunk-order restoration from the
+tags, and frame interleaving semantics are shared with the shm plane
+byte for byte.  Streams have no capacity cliff, so there is **no
+oversized-record fallback**: a record of any size eventually drains,
+and the plane's ``parent_run_bytes`` is structurally zero.
+
+Address family: ``AF_UNIX`` by default on one host (deterministic
+``$TMPDIR/repro_sock_<token>_<wi>.sock`` paths, so the parent can sweep
+a crashed worker's leftover socket file exactly like a mesh edge
+segment), or ``AF_INET`` loopback TCP (``$REPRO_SOCKET_FAMILY=inet`` /
+``PoolConfig.socket_family``) — the wire format is identical and the
+mode is called ``"tcp"`` either way.
+
+Failure semantics mirror the mesh, with one addition:
+
+* A **blocked send** (peer alive but not draining) cooperatively drains
+  this worker's own inbound connections while waiting (same
+  deadlock-freedom argument as the mesh ``on_wait`` hook) and raises
+  :class:`~repro.parallel.ring.RingTimeout` after ``write_timeout`` —
+  classified *wedged* and recovered by the supervision layer.
+* A **dropped connection** (peer process died: ``ECONNRESET`` /
+  ``EPIPE`` on send, or EOF while a frame watermark is still
+  incomplete) raises :class:`SocketClosed` — classified as a
+  recoverable connection-drop :class:`~repro.parallel.supervise
+  .PoolFailure`, so the executor recycles the transport epoch and
+  replays the in-flight frames exactly as for a wedge or a detected
+  death.  An EOF *between* records while no watermark is pending is a
+  graceful peer shutdown (pool teardown order) and is ignored.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import tempfile
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..observability.tracer import span
+from .ring import _POLL_SECONDS, RingTimeout
+from .shuffle import MESH_HEADER_DTYPE, MESH_HEADER_NBYTES
+
+__all__ = [
+    "ENV_SOCKET_FAMILY",
+    "SocketClosed",
+    "SocketMesh",
+    "socket_path",
+]
+
+#: Environment override for :attr:`PoolConfig.socket_family` — which
+#: address family the ``tcp`` plane's edge streams use: ``"unix"``
+#: (AF_UNIX, one host, the default where available) or ``"inet"``
+#: (loopback TCP).
+ENV_SOCKET_FAMILY = "REPRO_SOCKET_FAMILY"
+
+#: Per-connection hello: the connecting worker announces its id so the
+#: accepting side can label the inbound stream (accept order is
+#: arbitrary; the record protocol itself never carries a source id).
+_HELLO = struct.Struct("<Q")
+
+
+class SocketClosed(ConnectionError):
+    """A shuffle peer's connection dropped mid-frame.
+
+    Raised on a send into a reset/closed connection, or when a frame
+    watermark cannot complete because an inbound stream hit EOF.  The
+    supervision layer classifies it as a recoverable infrastructure
+    failure (``kind="conn-drop"``): the inputs are intact, so the
+    transport epoch is recycled and the frame replays bitwise.
+    """
+
+
+def socket_path(token: str, worker_id: int) -> str:
+    """Deterministic AF_UNIX listener path for one worker of one pool.
+
+    Like :func:`~repro.parallel.shuffle.mesh_edge_name`, the name is
+    derived from a per-pool token recorded *before* forking, so the
+    parent can unlink a crashed worker's socket file even when the
+    worker never reported anything.
+    """
+    return os.path.join(
+        tempfile.gettempdir(), f"repro_sock_{token}_{worker_id}.sock"
+    )
+
+
+def resolve_socket_family(explicit: Optional[str] = None) -> str:
+    """Explicit > ``$REPRO_SOCKET_FAMILY`` > ``"unix"`` where AF_UNIX
+    exists, else ``"inet"``.  Unknown values raise."""
+    family = explicit
+    if family is None:
+        env = os.environ.get(ENV_SOCKET_FAMILY, "").strip()
+        if env:
+            family = env
+    if family is None:
+        return "unix" if hasattr(socket, "AF_UNIX") else "inet"
+    if family not in ("unix", "inet"):
+        raise ValueError(
+            f"socket family {family!r} must be 'unix' or 'inet'"
+            + (
+                f" (from ${ENV_SOCKET_FAMILY})"
+                if explicit is None
+                else ""
+            )
+        )
+    if family == "unix" and not hasattr(socket, "AF_UNIX"):
+        raise ValueError("socket family 'unix' is unavailable on this platform")
+    return family
+
+
+class SocketMesh:
+    """One worker's half of the socket shuffle plane.
+
+    Duck-types as :class:`~repro.parallel.shuffle.WorkerMesh` for the
+    worker loop — same ``poll`` / ``send`` / ``take_frame`` /
+    ``attach_row`` / ``stash_relay`` / ``close`` surface, same per-frame
+    stash semantics — but moves records over one listening socket (this
+    worker's inbound side) plus one outbound connection per peer.
+
+    The listener is created in the constructor (before the handshake),
+    so by the time the parent broadcasts the address map every peer's
+    listener provably exists and :meth:`attach_row`'s connects cannot
+    race it; inbound connections are then accepted lazily inside
+    :meth:`poll`, identified by an 8-byte worker-id hello.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        n_workers: int,
+        write_timeout: float,
+        token: Optional[str] = None,
+        watermark_timeout: Optional[float] = None,
+        family: str = "unix",
+    ):
+        self.worker_id = int(worker_id)
+        self.n_workers = int(n_workers)
+        self.write_timeout = float(write_timeout)
+        self.watermark_timeout = (
+            float(watermark_timeout)
+            if watermark_timeout is not None
+            else float(write_timeout)
+        )
+        self.family = family
+        self._path: Optional[str] = None
+        if family == "unix":
+            self._path = socket_path(token or "anon", self.worker_id)
+            try:
+                os.unlink(self._path)  # stale file from a crashed epoch
+            except FileNotFoundError:
+                pass
+            self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._listener.bind(self._path)
+            self.address = self._path
+        else:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._listener.bind(("127.0.0.1", 0))
+            self.address = self._listener.getsockname()
+        self._listener.listen(max(1, self.n_workers))
+        self._listener.setblocking(False)
+        # Established streams: src worker id -> nonblocking socket, plus
+        # its partial-record receive buffer.
+        self._conns: Dict[int, socket.socket] = {}
+        self._bufs: Dict[int, bytearray] = {}
+        # Accepted but not yet identified (hello still in flight).
+        self._pending: list = []
+        self._outbound: Dict[int, socket.socket] = {}
+        # Streams that hit EOF: graceful (between records) vs broken
+        # (mid-record).  Either one fails a still-incomplete watermark.
+        self._eof: set = set()
+        self._broken: set = set()
+        # seq -> {(chunk index, partition): raw bytes | ndarray} —
+        # identical layout to WorkerMesh's stash.
+        self._stash: Dict[int, dict] = {}
+        # Backpressure / traffic counters (cumulative, shipped to the
+        # parent with each reduce as a "shuffle_stats" message).
+        self.stall_seconds = 0.0
+        self.stall_events = 0
+        self.high_water_bytes = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- handshake ---------------------------------------------------------
+    def attach_row(self, addresses: Dict[int, object]) -> None:
+        """Connect to every peer's listener (this worker's outbound row).
+
+        Called once, when the parent broadcasts the full address map
+        after collecting every worker's ``socket_ready``; all listeners
+        exist by then, and the kernel backlog absorbs connects that
+        land before the peer's next :meth:`poll` accepts them.
+        """
+        for j, addr in sorted(addresses.items()):
+            j = int(j)
+            if j == self.worker_id or j in self._outbound:
+                continue
+            if isinstance(addr, str):
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            else:
+                s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                addr = tuple(addr)
+            s.settimeout(self.write_timeout)
+            s.connect(addr)
+            s.sendall(_HELLO.pack(self.worker_id))
+            s.setblocking(False)
+            self._outbound[j] = s
+
+    # -- receiving ---------------------------------------------------------
+    def _put(self, seq: int, ci: int, part: int, payload) -> None:
+        self._stash.setdefault(seq, {})[(ci, part)] = payload
+
+    def stash_relay(self, seq: int, ci: int, part: int, run) -> None:
+        """Accept a parent-relayed record (API parity with WorkerMesh;
+        the socket plane itself never produces fallbacks)."""
+        self._put(seq, ci, part, run)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            conn.setblocking(False)
+            if self.family == "inet":
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._pending.append((conn, bytearray()))
+
+    def _read_hellos(self) -> None:
+        still = []
+        for conn, buf in self._pending:
+            try:
+                data = conn.recv(_HELLO.size - len(buf))
+            except (BlockingIOError, InterruptedError):
+                still.append((conn, buf))
+                continue
+            except OSError:
+                conn.close()
+                continue
+            if not data:  # peer vanished before identifying itself
+                conn.close()
+                continue
+            buf.extend(data)
+            if len(buf) < _HELLO.size:
+                still.append((conn, buf))
+                continue
+            src = int(_HELLO.unpack(bytes(buf))[0])
+            self._conns[src] = conn
+            self._bufs.setdefault(src, bytearray())
+        self._pending = still
+
+    def _parse(self, src: int) -> bool:
+        buf = self._bufs[src]
+        got = False
+        while len(buf) >= MESH_HEADER_NBYTES:
+            hdr = np.frombuffer(
+                bytes(buf[:MESH_HEADER_NBYTES]), MESH_HEADER_DTYPE
+            )[0]
+            n = int(hdr["nbytes"])
+            if len(buf) < MESH_HEADER_NBYTES + n:
+                break
+            payload = bytes(buf[MESH_HEADER_NBYTES:MESH_HEADER_NBYTES + n])
+            del buf[:MESH_HEADER_NBYTES + n]
+            self._put(int(hdr["seq"]), int(hdr["chunk"]), int(hdr["part"]), payload)
+            got = True
+        return got
+
+    def poll(self) -> bool:
+        """Accept pending connections and drain every readable byte into
+        the stash.  Never blocks; returns whether any record completed.
+        Safe to call from inside a blocked send — that is what keeps
+        cycles of mutually backpressured workers deadlock-free."""
+        self._accept()
+        if self._pending:
+            self._read_hellos()
+        got = False
+        for src in list(self._conns):
+            conn = self._conns[src]
+            while True:
+                try:
+                    data = conn.recv(1 << 16)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    data = b""
+                if not data:
+                    # EOF.  Mid-record means the peer died with bytes in
+                    # flight; between records it is (usually) a graceful
+                    # teardown — take_frame decides, because only an
+                    # incomplete watermark makes either one an error.
+                    (self._broken if self._bufs[src] else self._eof).add(src)
+                    conn.close()
+                    del self._conns[src]
+                    break
+                self.bytes_received += len(data)
+                self._bufs[src].extend(data)
+                if len(self._bufs[src]) > self.high_water_bytes:
+                    self.high_water_bytes = len(self._bufs[src])
+            if src in self._bufs and self._bufs[src]:
+                got |= self._parse(src)
+        return got
+
+    # -- sending -----------------------------------------------------------
+    def send(self, seq: int, ci: int, part: int, run: np.ndarray, owner: int) -> bool:
+        """Ship one ``(chunk, partition)`` run to its owning worker.
+
+        Always returns True: a stream has no per-record capacity limit,
+        so the mesh plane's oversized-record fallback does not exist
+        here.  A send blocked past ``write_timeout`` raises
+        :class:`RingTimeout` (wedged peer); a reset connection raises
+        :class:`SocketClosed` (dropped peer) — both recoverable.
+        """
+        if owner == self.worker_id:
+            self._put(seq, ci, part, run)
+            return True
+        header = np.array(
+            [(seq, ci, part, int(run.nbytes))], dtype=MESH_HEADER_DTYPE
+        ).tobytes()
+        view = memoryview(header + run.tobytes())
+        conn = self._outbound[owner]
+        deadline = time.monotonic() + self.write_timeout
+        stalled_at = None
+        while view:
+            try:
+                sent = conn.send(view)
+            except (BlockingIOError, InterruptedError):
+                if stalled_at is None:
+                    stalled_at = time.monotonic()
+                    self.stall_events += 1
+                # Cooperative drain: while our peer's buffer is full,
+                # keep consuming our own inbound streams.
+                self.poll()
+                if time.monotonic() > deadline:
+                    self.stall_seconds += time.monotonic() - stalled_at
+                    raise RingTimeout(
+                        f"socket edge to worker {owner} blocked for more "
+                        f"than {self.write_timeout}s"
+                    )
+                time.sleep(_POLL_SECONDS)
+                continue
+            except OSError as exc:
+                raise SocketClosed(
+                    f"connection to worker {owner} dropped mid-send "
+                    f"(frame {seq}, chunk {ci}, partition {part}): {exc}"
+                ) from exc
+            if stalled_at is not None:
+                self.stall_seconds += time.monotonic() - stalled_at
+                stalled_at = None
+            view = view[sent:]
+            self.bytes_sent += sent
+        return True
+
+    # -- reducing ----------------------------------------------------------
+    def take_frame(
+        self,
+        seq: int,
+        owned: list,
+        n_chunks: int,
+        kv_dtype: np.dtype,
+    ) -> list:
+        """Wait for frame ``seq``'s completion watermark, then return its
+        chunk-ordered runs — the same layout (and the same watermark
+        arithmetic) as :meth:`WorkerMesh.take_frame`, so the downstream
+        merge cannot tell the transports apart.
+
+        Fails *fast* on a dropped peer: an inbound stream at EOF while
+        the watermark is incomplete can never complete it, so
+        :class:`SocketClosed` is raised immediately instead of burning
+        the whole ``watermark_timeout``.
+        """
+        kv_dtype = np.dtype(kv_dtype)
+        expected = int(n_chunks) * len(owned)
+        deadline = time.monotonic() + self.watermark_timeout
+        frame = self._stash.setdefault(seq, {})
+        with span("shuffle-in", cat="shuffle", frame=seq, records=expected) as sp:
+            while len(frame) < expected:
+                if not self.poll() and len(frame) < expected:
+                    if self._broken or self._eof:
+                        gone = sorted(self._broken | self._eof)
+                        raise SocketClosed(
+                            f"connection from worker(s) {gone} dropped with "
+                            f"frame {seq}'s watermark incomplete: "
+                            f"{len(frame)}/{expected} records"
+                        )
+                    if time.monotonic() > deadline:
+                        raise RingTimeout(
+                            f"socket watermark for frame {seq} not reached: "
+                            f"{len(frame)}/{expected} records after "
+                            f"{self.watermark_timeout}s"
+                        )
+                    time.sleep(_POLL_SECONDS)
+            records = self._stash.pop(seq)
+            sp.set(
+                bytes=sum(
+                    len(r) if not isinstance(r, np.ndarray) else int(r.nbytes)
+                    for r in records.values()
+                )
+                + MESH_HEADER_NBYTES * expected
+            )
+        runs_per_chunk = []
+        for ci in range(int(n_chunks)):
+            row = []
+            for part in owned:
+                raw = records[(ci, part)]
+                if not isinstance(raw, np.ndarray):
+                    raw = np.frombuffer(raw, dtype=kv_dtype)
+                row.append(raw)
+            runs_per_chunk.append(row)
+        return runs_per_chunk
+
+    # -- stats / teardown --------------------------------------------------
+    def counters(self) -> dict:
+        """Cumulative backpressure/traffic counters, shipped to the
+        parent as a ``shuffle_stats`` message alongside each reduce."""
+        return {
+            "stall_seconds": self.stall_seconds,
+            "stall_events": self.stall_events,
+            "high_water_bytes": self.high_water_bytes,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+    def close(self) -> None:
+        """Close every socket and (as creator) unlink the AF_UNIX
+        listener path.  The parent's deterministic-path sweep remains
+        the backstop for SIGKILL/crash, exactly like mesh edges."""
+        for conn, _ in self._pending:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+        self._pending = []
+        for conns in (self._conns, self._outbound):
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+            conns.clear()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except (FileNotFoundError, OSError):
+                pass
+        self._stash.clear()
+        self._bufs.clear()

@@ -67,8 +67,11 @@ class PoolFailure(RuntimeError):
     """An *infrastructure* failure of the pool — recoverable by retry.
 
     kind:
-        ``"worker-death"`` (a process exited or was killed) or
-        ``"wedged"`` (a ring/edge write or a frame watermark timed out).
+        ``"worker-death"`` (a process exited or was killed),
+        ``"wedged"`` (a ring/edge write or a frame watermark timed
+        out), or ``"conn-drop"`` (a socket-plane peer connection
+        reset/EOFed mid-frame — the stream analogue of finding the
+        peer process dead).
     workers:
         The worker ids/names implicated, when known.
     stage:
@@ -111,6 +114,14 @@ def classify_failure(exc: BaseException) -> Optional[PoolFailure]:
         # Parent-side timeout draining an uplink ring: the producing
         # worker stopped publishing mid-stream.
         return PoolFailure(str(exc), kind="wedged", stage="shuffle-out")
+    # Deferred import: socketplane sits above shuffle, which imports
+    # this module at load time.
+    from .socketplane import SocketClosed
+
+    if isinstance(exc, SocketClosed):
+        # A socket-plane peer dropped its connection mid-frame: the
+        # inputs are intact, so recycle the transport epoch and replay.
+        return PoolFailure(str(exc), kind="conn-drop", stage="shuffle-out")
     return None
 
 
@@ -121,17 +132,20 @@ def worker_error_to_exception(
     exception the parent should raise.
 
     Workers tag each report with the exception class name; a
-    ``RingTimeout`` is transport wedging (a blocked edge write inside a
-    map task, or an expired frame watermark inside a reduce) and maps to
-    a recoverable :class:`PoolFailure`, while anything else is a task
-    failure in user code and keeps the historical fatal ``RuntimeError``.
+    ``RingTimeout`` is transport wedging (a blocked edge/stream write
+    inside a map task, or an expired frame watermark inside a reduce)
+    and a ``SocketClosed`` is a dropped socket-plane peer connection —
+    both map to a recoverable :class:`PoolFailure`, while anything else
+    is a task failure in user code and keeps the historical fatal
+    ``RuntimeError``.
     """
-    if etype == "RingTimeout":
+    if etype in ("RingTimeout", "SocketClosed"):
         stage = "shuffle-in" if what.startswith("reduce") else "shuffle-out"
         return PoolFailure(
-            f"wedged transport in the worker pool "
-            f"[{what} on worker {wi}]:\n{tb}",
-            kind="wedged",
+            ("dropped connection" if etype == "SocketClosed"
+             else "wedged transport")
+            + f" in the worker pool [{what} on worker {wi}]:\n{tb}",
+            kind="conn-drop" if etype == "SocketClosed" else "wedged",
             workers=[wi],
             stage=stage,
         )

@@ -17,19 +17,26 @@ per-worker task queue:
 ``("mesh_attach", {peer: ring name})``
     Attach to every peer's inbound edge (this worker's outbound row of
     the N×N mesh).  Sent once, before any frame.
+``("socket_attach", {peer: address})``
+    The socket-plane analogue: connect to every peer's listener (see
+    :mod:`repro.parallel.socketplane`).  Sent once, after the parent
+    has collected every worker's ``socket_ready`` address.
 ``("frame", bytes)``
     Pickled :class:`FrameContext` parts for the next frame — mapper,
     partitioner, combiner, reducer, KV spec, key bound, chunk count.
     The transfer-function table is *not* in the pickle: it lives in the
     arena and is rebound here (the paper's "static data uploaded once
     per device").
-``("map", frame_seq, chunk_index, chunk_id, nbytes, on_disk, meta)``
+``("map", frame_seq, chunk_index, chunk_id, nbytes, on_disk, meta, payload)``
     Run Map + Partition for one chunk: ray-cast (or any user mapper),
     validate, discard placeholders, combine, bucket by reducer.
-    **Shuffle-out** follows immediately: on the parent-routed plane the
-    bucketed runs stream up this worker's uplink ring (counters travel
-    on the result queue); on the mesh plane each partition's run goes
-    *directly* into the owning worker's inbound edge, tagged
+    ``payload`` is ``None`` for workers on host 0 (the chunk is mapped
+    zero-copy from the arena) and the chunk's ndarray for off-host
+    workers, whose "host" has no shared segment.  **Shuffle-out**
+    follows immediately: on the parent-routed plane the bucketed runs
+    stream up this worker's uplink ring (counters travel on the result
+    queue); on the direct planes (mesh edges / socket streams) each
+    partition's run goes *directly* to the owning worker, tagged
     ``(frame, chunk, partition)`` — the parent sees counters only.
 ``("mesh_relay", frame_seq, chunk_index, partition, run)``
     An oversized record another mapper could not fit through its edge,
@@ -89,6 +96,7 @@ from .faults import FaultPlan
 from .ring import ShmRing
 from .shm import ArenaSpec, ArenaView
 from .shuffle import DEFAULT_RING_WRITE_TIMEOUT, WorkerMesh
+from .socketplane import SocketMesh
 
 __all__ = [
     "FrameContext",
@@ -180,7 +188,7 @@ def _handle_map(
     ctx: FrameContext,
     view: ArenaView,
     ring: ShmRing,
-    mesh: Optional[WorkerMesh],
+    mesh,  # WorkerMesh | SocketMesh | None (duck-typed)
     write_timeout: float,
     result_queue,
     msg: tuple,
@@ -196,7 +204,7 @@ def _handle_map(
     result queue when it outgrows the ring.  Either way the "done"
     message carries only counters.
     """
-    _, seq, ci, chunk_id, nbytes, on_disk, meta = msg
+    _, seq, ci, chunk_id, nbytes, on_disk, meta, payload = msg
     try:
         with span(f"map:chunk={ci}", cat="map", frame=seq, chunk=ci):
             if faults is not None:
@@ -204,7 +212,10 @@ def _handle_map(
             chunk = Chunk(
                 id=chunk_id,
                 nbytes=nbytes,
-                data=view.array(chunk_id),
+                # Off-host workers get the chunk bytes in the message
+                # (no shared segment on their "host"); everyone else
+                # maps the arena zero-copy.
+                data=payload if payload is not None else view.array(chunk_id),
                 on_disk=on_disk,
                 meta=meta,
             )
@@ -214,20 +225,31 @@ def _handle_map(
                 faults.fire("shuffle-out", worker_id, seq, chunk=ci)
             fallbacks = 0
             if mesh is not None:
-                # Shuffle-out over the mesh: run bytes never touch the
-                # parent.
+                # Shuffle-out over the mesh/sockets: run bytes never
+                # touch the parent.
                 shuf = ShuffleSpec(ctx.n_reducers, mesh.n_workers)
+                wire_base = getattr(mesh, "bytes_sent", None)
                 for part, run in enumerate(runs):
                     run = np.ascontiguousarray(run)
                     if not mesh.send(seq, ci, part, run, shuf.owner_of(part)):
                         # Record too large for its edge: relay through the
                         # parent's control plane rather than deadlock.
+                        # (Shm edges only — socket sends always succeed.)
                         result_queue.put(
                             ("mesh_fallback", worker_id, seq, ci, part, run)
                         )
                         fallbacks += 1
                 inline = None
-                ring_nbytes = 0
+                # On the socket plane the completion message's byte
+                # field reports this map's bytes-on-wire (headers
+                # included, self-owned runs excluded); the shm mesh
+                # keeps reporting 0 here — its traffic counters live in
+                # the edge rings the parent already holds.
+                ring_nbytes = (
+                    mesh.bytes_sent - wire_base
+                    if wire_base is not None
+                    else 0
+                )
             else:
                 total = int(sum(run.nbytes for run in runs))
                 if total <= ring.capacity:
@@ -285,7 +307,7 @@ def _handle_map(
 def _handle_reduce(
     worker_id: int,
     ctx: FrameContext,
-    mesh: Optional[WorkerMesh],
+    mesh,  # WorkerMesh | SocketMesh | None (duck-typed)
     result_queue,
     msg: tuple,
     faults: Optional[FaultPlan] = None,
@@ -325,6 +347,12 @@ def _handle_reduce(
         outputs, pairs_per_reducer = merge_partition_runs(view, runs_per_chunk)
         if flush_spans is not None:
             flush_spans()
+        if isinstance(mesh, SocketMesh):
+            # Socket traffic counters live worker-side (the parent holds
+            # no data sockets): ship a cumulative snapshot strictly
+            # before the reduce result it describes (FIFO queue), so the
+            # plane's frame_stats always covers this frame's traffic.
+            result_queue.put(("shuffle_stats", worker_id, mesh.counters()))
         result_queue.put(
             ("reduced", worker_id, seq, owned, outputs, pairs_per_reducer)
         )
@@ -378,7 +406,7 @@ def _seed_grid_cache(view: ArenaView, seeded: list) -> None:
             seeded.append(key[1])
 
 
-def _next_message(task_queue, mesh: Optional[WorkerMesh]):
+def _next_message(task_queue, mesh):
     """Block for the next control message, draining the mesh meanwhile.
 
     An idle worker (done mapping, waiting for its reduce message) must
@@ -470,7 +498,9 @@ def worker_main(
     # generation so rules default to firing only on the first attempt.
     faults = FaultPlan.parse(cfg.get("fault_plan"), generation=spawn_gen)
     ring = ShmRing.attach(ring_name) if ring_name is not None else None
-    mesh: Optional[WorkerMesh] = None
+    # Either direct-plane transport binds here; the two duck-type the
+    # same poll/send/take_frame/close surface for the loop below.
+    mesh = None  # WorkerMesh | SocketMesh | None
     if cfg.get("mesh_active"):
         mesh = WorkerMesh(
             worker_id,
@@ -483,6 +513,18 @@ def worker_main(
         # Report the inbound edge names; the parent attaches (adopting
         # unlink duty) and broadcasts each worker its outbound row.
         result_queue.put(("mesh_ready", worker_id, mesh.inbound_names))
+    elif cfg.get("socket_active"):
+        mesh = SocketMesh(
+            worker_id,
+            int(cfg["n_workers"]),
+            write_timeout,
+            token=cfg.get("socket_token"),
+            watermark_timeout=watermark_timeout,
+            family=cfg.get("socket_family") or "unix",
+        )
+        # The listener exists before this report, so by the time the
+        # parent broadcasts the address map every peer is connectable.
+        result_queue.put(("socket_ready", worker_id, mesh.address))
     view: Optional[ArenaView] = None
     ctx: Optional[FrameContext] = None
     seeded: list = []  # accel-cache keys backed by the current arena
@@ -507,7 +549,7 @@ def worker_main(
                 view = ArenaView(spec) if spec is not None else None
                 if view is not None:
                     _seed_grid_cache(view, seeded)
-            elif kind == "mesh_attach":
+            elif kind in ("mesh_attach", "socket_attach"):
                 mesh.attach_row(msg[1])
             elif kind == "frame":
                 ctx = pickle.loads(msg[1])

@@ -116,9 +116,18 @@ class MapReduceVolumeRenderer:
         ``"parent"`` (runs route through the parent, the PR-2/3
         layout), ``"mesh"`` (direct worker↔worker shared-memory edge
         rings — the paper's GPUs exchanging fragments over the
-        interconnect, parent demoted to a pure control plane), or
-        ``"auto"`` (default: mesh exactly when workers reduce).
-        Bitwise-identical output either way.
+        interconnect, parent demoted to a pure control plane), ``"tcp"``
+        (the same record protocol streamed worker↔worker over
+        AF_UNIX/TCP sockets — the multi-host regime; requires
+        ``reduce_mode="worker"``), or ``"auto"`` (default: mesh exactly
+        when workers reduce; never tcp).  Bitwise-identical output on
+        every plane.
+    host_spec:
+        Socket-plane host placement (tcp only): an int (workers spread
+        round-robin over that many "hosts") or a comma-separated/id
+        sequence assigning each worker a host id.  Host 0 holds the
+        shared-memory arena; workers placed off host 0 receive chunk
+        payloads over the wire instead of attaching the arena.
     pin_workers:
         Opt-in NUMA/core pinning for pool workers: each worker is
         pinned to a distinct core before allocating its inbound mesh
@@ -166,6 +175,7 @@ class MapReduceVolumeRenderer:
         reduce_mode: str = "parent",
         pipeline_depth: int = 1,
         shuffle_mode: str = "auto",
+        host_spec=None,
         pin_workers: bool = False,
         accel: Optional[str] = None,
         macro_cell_size: Optional[int] = None,
@@ -199,7 +209,7 @@ class MapReduceVolumeRenderer:
             raise ValueError(f"unknown executor {executor!r}")
         if reduce_mode not in ("parent", "worker"):
             raise ValueError(f"unknown reduce_mode {reduce_mode!r}")
-        if shuffle_mode not in ("auto", "parent", "mesh"):
+        if shuffle_mode not in ("auto", "parent", "mesh", "tcp"):
             raise ValueError(f"unknown shuffle_mode {shuffle_mode!r}")
         if pipeline_depth < 1:
             raise ValueError("pipeline depth must be at least 1")
@@ -207,6 +217,7 @@ class MapReduceVolumeRenderer:
         self.workers = workers
         self.reduce_mode = reduce_mode
         self.shuffle_mode = shuffle_mode
+        self.host_spec = host_spec
         self.pin_workers = bool(pin_workers)
         self.pipeline_depth = int(pipeline_depth)
         self.supervise = supervise
@@ -244,6 +255,7 @@ class MapReduceVolumeRenderer:
                     reduce_mode=self.reduce_mode,
                     pipeline_depth=self.pipeline_depth,
                     shuffle_mode=self.shuffle_mode,
+                    host_spec=self.host_spec,
                     pin_workers=self.pin_workers,
                     supervise=self.supervise,
                     max_frame_retries=self.max_frame_retries,
@@ -261,11 +273,11 @@ class MapReduceVolumeRenderer:
 
     @property
     def executor_shuffle_mode(self) -> Optional[str]:
-        """Effective shuffle plane of the active executor (``"parent"``
-        or ``"mesh"``; None when serial or not yet instantiated) — the
-        plane that actually carries run bytes, which is what
-        ``JobStats.ring["shuffle_mode"]`` reports too (a mesh request
-        under parent-side reduce degenerates to ``"parent"``)."""
+        """Effective shuffle plane of the active executor (``"parent"``,
+        ``"mesh"``, or ``"tcp"``; None when serial or not yet
+        instantiated) — the plane that actually carries run bytes, which
+        is what ``JobStats.ring["shuffle_mode"]`` reports too (a mesh
+        request under parent-side reduce degenerates to ``"parent"``)."""
         return getattr(self._exec_instance, "effective_shuffle_mode", None)
 
     @property

@@ -179,22 +179,25 @@ def test_pool_grid_accel_matches_golden(reduce_mode):
     assert_matches_golden("skull_default_az40", image2, result2)
 
 
-@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh"])
+@pytest.mark.parametrize("shuffle_mode", ["parent", "mesh", "tcp"])
 @pytest.mark.parametrize("scene", sorted(SCENES))
 def test_pool_worker_reduce_matches_golden(scene, shuffle_mode):
-    """Worker-side reduce over both shuffle planes: the parent-routed
-    transport and the direct worker↔worker mesh must reproduce the
-    fixtures bitwise — the plane only decides which processes the run
-    bytes traverse, never what they decode to."""
+    """Worker-side reduce over all three shuffle planes: the
+    parent-routed transport, the direct worker↔worker mesh, and the
+    socket streams must reproduce the fixtures bitwise — the plane only
+    decides which processes the run bytes traverse, never what they
+    decode to."""
     with SharedMemoryPoolExecutor(
         workers=2, reduce_mode="worker", shuffle_mode=shuffle_mode
     ) as pool:
         image, result = render_scene(scene, pool)
         assert result.stats.ring["shuffle_mode"] == shuffle_mode
-        if shuffle_mode == "mesh":
+        if shuffle_mode in ("mesh", "tcp"):
             # The control-plane guarantee: zero run bytes crossed the
             # parent on the way to the reducers.
             assert result.stats.ring["parent_run_bytes"] == 0
+        if shuffle_mode == "tcp":
+            assert result.stats.ring["wire_bytes_total"] > 0
     assert_matches_golden(scene, image, result)
 
 
@@ -258,9 +261,17 @@ def test_pool_crash_recovery_matches_golden_smoke():
     _render_with_crash("skull_default_az40", "mesh", "worker", 1)
 
 
+def test_pool_tcp_crash_recovery_matches_golden_smoke():
+    """Socket-plane canary: a mid-frame crash drops the worker's
+    connections (peers see SocketClosed, not just a missing process),
+    and the recovered render must still be bitwise-golden."""
+    _render_with_crash("skull_default_az40", "tcp", "worker", 1)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("shuffle_mode,reduce_mode", [
     ("parent", "parent"), ("parent", "worker"), ("mesh", "worker"),
+    ("tcp", "worker"),
 ])
 @pytest.mark.parametrize("pipeline_depth", [1, 2])
 def test_pool_crash_recovery_matrix_matches_golden(

@@ -443,6 +443,28 @@ def test_results_three_way_and_env_mismatch(bench_files):
     assert "environment mismatch" in res.render_report()
 
 
+def test_results_usable_cores_mismatch_is_flagged(bench_files):
+    """cpu_count alone misses cgroup/affinity caps: two machines with 8
+    physical cores are not comparable when one is pinned to 2 of them,
+    so usable_cores is a comparability key in its own right."""
+    env_a = {"cpu_count": 8, "usable_cores": 8, "python": "3.11.7",
+             "platform": "Linux-x86_64"}
+    env_b = dict(env_a, usable_cores=2)  # same box, throttled affinity
+    cur = bench_files("cur.json", {"sort": 0.010}, environment=env_a)
+    base = bench_files("base.json", {"sort": 0.010}, environment=env_b)
+    res = ExperimentResults(cur, baseline=base)
+    assert any("baseline.usable_cores" in n for n in res.environment_mismatches)
+    assert not any("cpu_count" in n for n in res.environment_mismatches)
+    # Documents predating the key (no usable_cores at all) are not
+    # penalized with a false mismatch.
+    old = bench_files(
+        "old.json", {"sort": 0.010},
+        environment={k: v for k, v in env_a.items() if k != "usable_cores"},
+    )
+    res = ExperimentResults(cur, baseline=old)
+    assert not any("usable_cores" in n for n in res.environment_mismatches)
+
+
 def test_results_committed_bench_files_pass_the_gate():
     """The CI configuration: committed current vs committed seed."""
     res = ExperimentResults(
@@ -460,6 +482,9 @@ def test_results_committed_bench_files_pass_the_gate():
 def test_collect_environment_and_load_means(tmp_path):
     env = collect_environment()
     assert env["cpu_count"] >= 1
+    # The affinity-aware core count rides along: what the process can
+    # actually run on, never more than the box has.
+    assert 1 <= env["usable_cores"] <= env["cpu_count"]
     assert env["python"].count(".") == 2
     assert "timestamp" in env and "platform" in env
     path = tmp_path / "k.json"

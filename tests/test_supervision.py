@@ -37,6 +37,7 @@ from repro.parallel import (
 )
 from repro.parallel.faults import CRASH_EXIT_CODE, resolve_fault_plan
 from repro.parallel.ring import RingTimeout
+from repro.parallel.socketplane import SocketClosed
 from repro.parallel.supervise import (
     classify_failure,
     dead_workers,
@@ -105,6 +106,12 @@ def test_fault_plan_empty_is_no_injection():
     "crash@map:worker=one",     # non-integer condition
     "crash@map:worker",         # not key=value
     "justnoise",                # no stage at all
+    "crash@map:frame=0",        # frames are 1-based: can never fire
+    "crash@map:frame=-1",       # ... and certainly not negative
+    "crash@map:worker=-1",      # worker ids are 0-based, non-negative
+    "crash@map:chunk=-2",       # chunk indices likewise
+    "crash@map:gen=-1",         # generations likewise
+    "exit(3.5)@map",            # exit statuses are integers
 ])
 def test_fault_plan_rejects_bad_grammar(bad):
     with pytest.raises(ValueError):
@@ -213,7 +220,11 @@ def test_classify_failure_recoverable_vs_fatal():
     assert classify_failure(pf) is pf
     wedged = classify_failure(RingTimeout("edge full"))
     assert wedged is not None and wedged.kind == "wedged"
+    dropped = classify_failure(SocketClosed("peer 1 reset"))
+    assert dropped is not None and dropped.kind == "conn-drop"
+    assert dropped.stage == "shuffle-out"
     assert classify_failure(ValueError("user bug")) is None
+    assert classify_failure(ConnectionError("not a shuffle socket")) is None
     assert classify_failure(KeyboardInterrupt()) is None
 
 
@@ -222,6 +233,12 @@ def test_worker_error_to_exception_mapping():
     assert isinstance(exc, PoolFailure)
     assert exc.kind == "wedged" and exc.stage == "shuffle-out"
     exc = worker_error_to_exception(0, "reduce frame 2", "tb", "RingTimeout")
+    assert isinstance(exc, PoolFailure) and exc.stage == "shuffle-in"
+    exc = worker_error_to_exception(1, "map chunk 3", "tb", "SocketClosed")
+    assert isinstance(exc, PoolFailure)
+    assert exc.kind == "conn-drop" and exc.stage == "shuffle-out"
+    assert exc.workers == [1]
+    exc = worker_error_to_exception(0, "reduce frame 2", "tb", "SocketClosed")
     assert isinstance(exc, PoolFailure) and exc.stage == "shuffle-in"
     exc = worker_error_to_exception(0, "map chunk 0", "tb", "ValueError")
     assert isinstance(exc, RuntimeError)
@@ -264,6 +281,12 @@ RECOVERY_CASES = [
     ("exit(9)@shuffle-out:worker=1,frame=1", "parent", "parent"),
     ("exit(9)@shuffle-out:worker=0,frame=1", "mesh", "worker"),
     ("crash@reduce:worker=0,frame=1", "mesh", "worker"),
+    # Socket plane: a crash mid-map drops the worker's connections too,
+    # so recovery must survive the peers' SocketClosed reports racing
+    # the death detection.
+    ("crash@map:worker=1,frame=1", "tcp", "worker"),
+    ("exit(9)@shuffle-out:worker=0,frame=1", "tcp", "worker"),
+    ("crash@reduce:worker=0,frame=1", "tcp", "worker"),
 ]
 
 
@@ -330,8 +353,17 @@ def test_wedged_stalled_worker_recovers():
     a small mesh edge, worker 1's fragment writes into the sleeping
     worker 0's inbound edge block until the ring write timeout, which
     classifies as a wedged transport and recovers like a death — the
-    stalled worker is SIGTERMed with the rest of the epoch."""
-    spec, chunks = _generic_job(ModSquareMapper(7), n_elems=512)
+    stalled worker is SIGTERMed with the rest of the epoch.
+
+    Many chunks (rather than bigger runs, which would overflow the
+    record-size limit and fall back through the parent) guarantee the
+    wedge: before its first map message arrives, the to-be-stalled
+    worker cooperatively drains its inbound edges, and with only a few
+    records a loaded machine can let the peer finish shuffling inside
+    that window — then nothing ever blocks and the test just sleeps
+    out the stall."""
+    spec, chunks = _generic_job(ModSquareMapper(7), n_chunks=32,
+                                n_elems=512)
     ref = InProcessExecutor().execute(spec, chunks)
     before = _shm_listing()
     with _pool("stall(30)@map:worker=0,frame=1", "mesh", "worker",
