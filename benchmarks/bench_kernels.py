@@ -5,18 +5,22 @@ in this repo), not the simulated GPU — simulated stage times live in the
 figure benches.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import counting_sort_pairs
 from repro.render import (
     RenderConfig,
+    available_backends,
     composite_fragments,
     default_tf,
     make_fragments,
     orbit_camera,
     ray_box_intersect,
     raycast_brick,
+    resolve_kernel,
     trilinear_sample,
 )
 from repro.render.accel import AccelCache
@@ -50,6 +54,46 @@ _ACCEL_CACHE = AccelCache()
 
 def test_bench_raycast_kernel(benchmark):
     cfg = RenderConfig(dt=1.0)
+    frags, stats = benchmark(
+        raycast_brick,
+        VOL.data,
+        (0, 0, 0),
+        (0, 0, 0),
+        VOL.shape,
+        VOL.shape,
+        CAM,
+        TF,
+        cfg,
+    )
+    assert stats.n_samples > 0
+
+
+def _bench_kernel_backends() -> tuple:
+    """Backends for the per-backend raycast rows.
+
+    ``REPRO_BENCH_KERNELS`` (comma-separated, exported by
+    ``run_kernels.sh --kernel``) restricts the list; by default both
+    rows are attempted and the numba one skips when the package is
+    absent, so a numpy-only box still produces a tagged numpy row.
+    """
+    env = os.environ.get("REPRO_BENCH_KERNELS")
+    if env:
+        return tuple(s.strip() for s in env.split(",") if s.strip())
+    return ("numpy", "numba")
+
+
+@pytest.mark.parametrize("backend", _bench_kernel_backends())
+def test_bench_raycast_kernel_backend(benchmark, backend):
+    """Per-backend raycast rows (same scene as test_bench_raycast_kernel,
+    which stays unparametrized as the seed-gate row).  ``repro report
+    --check`` gates each backend row against its own baseline row, and
+    the environment provenance stamps which backend "auto" resolves to
+    on the measuring box.  JIT warmup runs before timing: the bench
+    measures the steady marcher, not compilation."""
+    if backend not in available_backends():
+        pytest.skip(f"kernel backend {backend!r} unavailable on this box")
+    resolve_kernel(backend).warmup()
+    cfg = RenderConfig(dt=1.0, kernel=backend)
     frags, stats = benchmark(
         raycast_brick,
         VOL.data,

@@ -2,7 +2,12 @@
 # Kernel micro-benchmark regression check + parallel-executor scaling sweep.
 #
 # Usage:
-#   benchmarks/run_kernels.sh [output.json] [parallel_output.json]
+#   benchmarks/run_kernels.sh [--kernel numpy,numba] [output.json] [parallel_output.json]
+#
+# --kernel restricts the per-backend raycast rows
+# (test_bench_raycast_kernel_backend[*]) to the listed march-kernel
+# backends via REPRO_BENCH_KERNELS; without it both rows are attempted
+# and the numba row skips when the package is absent.
 #
 # Runs the functional-kernel micro-benchmarks into a pytest-benchmark
 # JSON (default: BENCH_kernels.json at the repo root) — including the
@@ -26,8 +31,20 @@
 set -euo pipefail
 trap 'echo "run_kernels.sh: FAILED at line $LINENO (exit $?)" >&2' ERR
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_kernels.json}"
-PAR_OUT="${2:-BENCH_parallel.json}"
+KERNELS=""
+ARGS=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --kernel) KERNELS="$2"; shift 2;;
+        --kernel=*) KERNELS="${1#*=}"; shift;;
+        *) ARGS+=("$1"); shift;;
+    esac
+done
+if [[ -n "$KERNELS" ]]; then
+    export REPRO_BENCH_KERNELS="$KERNELS"
+fi
+OUT="${ARGS[0]:-BENCH_kernels.json}"
+PAR_OUT="${ARGS[1]:-BENCH_parallel.json}"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_kernels.py --benchmark-only \
     --benchmark-json="$OUT" -q

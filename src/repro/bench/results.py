@@ -57,6 +57,23 @@ def collect_environment() -> dict:
         "platform": platform.platform(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
+    # March-kernel provenance: which backend "auto" resolves to on this
+    # box, and the numba version when importable (None otherwise).  A
+    # numpy-measured document must not be silently compared against a
+    # numba-measured one — kernel_backend participates in
+    # COMPARABLE_KEYS so the report annotates the mismatch.
+    try:
+        from ..render.kernels import resolve_kernel
+
+        env["kernel_backend"] = resolve_kernel("auto", warn=False).name
+    except Exception:
+        env["kernel_backend"] = None
+    try:
+        import numba
+
+        env["numba"] = numba.__version__
+    except Exception:
+        env["numba"] = None
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -119,7 +136,16 @@ class ExperimentResults:
     #: documents predating the key (no ``usable_cores`` stamped) are
     #: simply not compared on it — the mismatch check skips keys absent
     #: on either side.
-    COMPARABLE_KEYS = ("cpu_count", "usable_cores", "python", "platform")
+    #: ``kernel_backend`` joins for the same reason: a numba-measured
+    #: raycast mean against a numpy-measured baseline is a backend
+    #: comparison, not a regression signal.
+    COMPARABLE_KEYS = (
+        "cpu_count",
+        "usable_cores",
+        "python",
+        "platform",
+        "kernel_backend",
+    )
 
     def __init__(
         self,

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "is bitwise-identical either way")
     r.add_argument("--macro-cell-size", type=int, default=8,
                    help="macro-cell edge length in voxels for --accel grid")
+    r.add_argument("--kernel", default="auto",
+                   choices=["auto", "numpy", "numba"],
+                   help="march-kernel backend: 'numba' JIT-compiles the "
+                        "per-ray march loop (needs the numba package), "
+                        "'numpy' is the vectorized reference, 'auto' picks "
+                        "numba when importable and falls back to numpy "
+                        "with a warning (default)")
     r.add_argument("--trace-out", default=None, metavar="TRACE.json",
                    help="record a span timeline of the render (publish, "
                         "per-chunk map, shuffle, per-partition reduce, "
@@ -212,6 +219,7 @@ def _cmd_render(args) -> int:
             shading=args.shading,
             accel=args.accel,
             macro_cell_size=args.macro_cell_size,
+            kernel=args.kernel,
         ),
         executor=args.executor,
         workers=args.workers,

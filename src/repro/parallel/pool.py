@@ -497,6 +497,17 @@ class SharedMemoryPoolExecutor:
         :mod:`repro.parallel.faults` for the grammar); ``None`` reads
         ``$REPRO_FAULT_PLAN``.  Testing/benchmark hook — production
         pools leave it unset.
+    kernel:
+        March-kernel backend every worker must resolve and JIT-warm at
+        spawn (``"auto"``/``"numpy"``/``"numba"``; None skips warmup —
+        the pool then runs whatever the mapper's own config selects).
+        The renderer passes the *concrete* backend it resolved, so a
+        worker that cannot provide it (e.g. numba missing in the
+        worker's interpreter) reports an error before the first frame
+        instead of rendering with a divergent marcher.  Warmup runs
+        once per spawned worker, off the frame critical path, inside a
+        ``kernel-warmup`` tracer span; the pool counts warmups in
+        ``JobStats.telemetry``.
     pool_config:
         A :class:`~repro.parallel.shuffle.PoolConfig` supplying the
         transport defaults; the explicit keyword arguments above
@@ -523,6 +534,7 @@ class SharedMemoryPoolExecutor:
         max_frame_retries: Optional[int] = None,
         retry_backoff: Optional[float] = None,
         fault_plan: Optional[str] = None,
+        kernel: Optional[str] = None,
         pool_config: Optional[PoolConfig] = None,
     ):
         if workers is None:
@@ -615,6 +627,15 @@ class SharedMemoryPoolExecutor:
         self.max_frame_retries = self.pool_config.resolved_max_frame_retries()
         self.retry_backoff = self.pool_config.resolved_retry_backoff()
         self.fault_plan = self.pool_config.resolved_fault_plan()
+        if kernel is not None and kernel not in ("auto", "numpy", "numba"):
+            raise ValueError(
+                f"kernel must be one of 'auto', 'numpy', 'numba', got {kernel!r}"
+            )
+        self.kernel = kernel
+        # Worker kernel warmups performed so far (one per spawned worker
+        # when a kernel is pinned; respawned waves re-warm) — exported
+        # via JobStats.telemetry.
+        self._kernel_warmups = 0
         self._supervisor = PoolSupervisor()
         self._spawn_gen = 0  # spawn waves so far; fault rules key on it
         self._degraded_serial = False  # ladder hit the floor: serial only
@@ -798,6 +819,9 @@ class SharedMemoryPoolExecutor:
                 # tracer (or drop the inherited one) so span buffers are
                 # per-process and ship back over the result queue.
                 "trace": current_tracer() is not None,
+                # March-kernel backend to resolve + JIT-warm at spawn
+                # (concrete when a renderer pinned it; None skips).
+                "kernel": self.kernel,
             }
             p = self._ctx.Process(
                 target=worker_main,
@@ -813,6 +837,12 @@ class SharedMemoryPoolExecutor:
             )
             p.start()
             procs.append(p)
+        if self.kernel is not None:
+            # Every spawned worker warms its kernel before serving
+            # frames (worker_main, post-handshake); account for the
+            # wave here — a warmup *failure* surfaces as a worker
+            # "error" message and fails the next pump fast.
+            self._kernel_warmups += self.workers
         self._state.update(
             procs=procs, task_queues=task_queues, rings=rings
         )
@@ -1459,6 +1489,8 @@ class SharedMemoryPoolExecutor:
             shuffle_mode=self.effective_shuffle_mode,
             pipeline_depth=self.pipeline_depth,
             frame_seq=frame.seq,
+            kernel_backend=self.kernel or "unpinned",
+            kernel_warmups=self._kernel_warmups,
         )
 
     def _execute_serial(

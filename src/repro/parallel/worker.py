@@ -452,8 +452,10 @@ def worker_main(
     the uplink ring and every mesh edge), ``watermark_timeout`` (the
     mesh frame-completion bound), ``fault_plan``/``spawn_gen`` (the
     deterministic fault-injection plan and this process's spawn
-    generation — see :mod:`repro.parallel.faults`), and — when the mesh
-    plane is active — ``mesh_active``/``n_workers``/``edge_capacity``.
+    generation — see :mod:`repro.parallel.faults`), ``kernel`` (the
+    march-kernel backend to resolve and JIT-warm once at spawn; None
+    skips), and — when the mesh plane is active —
+    ``mesh_active``/``n_workers``/``edge_capacity``.
     Pinning happens **before** the inbound mesh edges are created so
     their pages are first-touched on the pinned core's NUMA node.
     ``ring_name`` is the uplink ring (parent-routed plane only; None on
@@ -525,6 +527,38 @@ def worker_main(
         # The listener exists before this report, so by the time the
         # parent broadcasts the address map every peer is connectable.
         result_queue.put(("socket_ready", worker_id, mesh.address))
+    # One-time march-kernel warmup, off the frame critical path: the
+    # parent pins the concrete backend it resolved, and this process
+    # must provide the same one — strict resolution means a worker
+    # missing the parent's backend (or failing to compile it) reports
+    # an error *before* the first frame rather than rendering with a
+    # divergent marcher.  The span stays buffered until the first task's
+    # flush (an eager flush here would interleave with the shuffle-plane
+    # handshake messages) — FIFO still lands it before the frame seals,
+    # so the JIT compile is visible on the trace timeline.
+    kernel_name = cfg.get("kernel")
+    if kernel_name is not None:
+        try:
+            from ..render.kernels import resolve_kernel
+
+            kspec = resolve_kernel(kernel_name)
+            with span(
+                "kernel-warmup",
+                cat="kernel",
+                backend=kspec.name,
+                worker=worker_id,
+            ):
+                kspec.warmup()
+        except Exception as exc:
+            result_queue.put(
+                (
+                    "error",
+                    worker_id,
+                    f"kernel warmup ({kernel_name})",
+                    traceback.format_exc(),
+                    type(exc).__name__,
+                )
+            )
     view: Optional[ArenaView] = None
     ctx: Optional[FrameContext] = None
     seeded: list = []  # accel-cache keys backed by the current arena

@@ -150,6 +150,12 @@ class MapReduceVolumeRenderer:
         cost.  Macro grids are cached per volume+tf+brick and, with the
         pool executor, published once into the shared-memory arena so
         workers never rebuild them across an orbit's frames.
+    kernel:
+        Override for :attr:`RenderConfig.kernel` — the march-kernel
+        backend (``"auto"``/``"numpy"``/``"numba"``).  ``"auto"`` is
+        resolved to a concrete backend at construction and pinned, so
+        parent and pool workers provably run the same marcher (workers
+        JIT-warm it at spawn and fail fast if they cannot provide it).
     supervise, max_frame_retries, fault_plan:
         Pool-executor fault tolerance (ignored by the in-process
         executor): ``supervise`` (default True) recovers infrastructure
@@ -179,6 +185,7 @@ class MapReduceVolumeRenderer:
         pin_workers: bool = False,
         accel: Optional[str] = None,
         macro_cell_size: Optional[int] = None,
+        kernel: Optional[str] = None,
         supervise: Optional[bool] = None,
         max_frame_retries: Optional[int] = None,
         fault_plan: Optional[str] = None,
@@ -193,15 +200,29 @@ class MapReduceVolumeRenderer:
         )
         self.tf = tf if tf is not None else default_tf()
         self.render_config = render_config if render_config is not None else RenderConfig()
-        if accel is not None or macro_cell_size is not None:
-            # Convenience overrides for the empty-space machinery, so
-            # callers need not rebuild a whole RenderConfig to flip it.
+        if accel is not None or macro_cell_size is not None or kernel is not None:
+            # Convenience overrides for the empty-space machinery and
+            # the march-kernel backend, so callers need not rebuild a
+            # whole RenderConfig to flip them.
             overrides = {}
             if accel is not None:
                 overrides["accel"] = accel
             if macro_cell_size is not None:
                 overrides["macro_cell_size"] = int(macro_cell_size)
+            if kernel is not None:
+                overrides["kernel"] = kernel
             self.render_config = replace(self.render_config, **overrides)
+        # Resolve "auto" to a concrete backend exactly once, here in the
+        # parent: the pinned name rides the pickled mapper config into
+        # every pool worker, where resolution is strict — a worker that
+        # cannot provide the parent's backend fails fast at warmup
+        # instead of silently rendering with a different marcher.
+        from ..render.kernels import resolve_kernel
+
+        self.render_config = replace(
+            self.render_config,
+            kernel=resolve_kernel(self.render_config.kernel).name,
+        )
         self.job_config = job_config if job_config is not None else JobConfig()
         self.kv = KVSpec(FRAGMENT_DTYPE, key_field="pixel")
         self._partitioner_factory = partitioner_factory or RoundRobinPartitioner
@@ -260,6 +281,7 @@ class MapReduceVolumeRenderer:
                     supervise=self.supervise,
                     max_frame_retries=self.max_frame_retries,
                     fault_plan=self.fault_plan,
+                    kernel=self.render_config.kernel,
                 )
             else:
                 self._exec_instance = InProcessExecutor(self.job_config)

@@ -24,6 +24,13 @@ from .fragments import (
 from .geometry import box_contains, ray_box_intersect
 from .image import image_stats, max_abs_diff, mean_abs_diff, psnr
 from .raycast import MapStats, RenderConfig, raycast_brick, trilinear_sample
+from .kernels import (
+    KERNEL_CHOICES,
+    KernelSpec,
+    MarchPlan,
+    available_backends,
+    resolve_kernel,
+)
 from .reference import ReferenceResult, render_reference
 from .shading import PhongParams, central_gradient, shade_phong
 from .stitch import rgba_to_rgb8, stitch_pixels, write_ppm
@@ -42,7 +49,10 @@ __all__ = [
     "Camera",
     "FRAGMENT_DTYPE",
     "FRAGMENT_NBYTES",
+    "KERNEL_CHOICES",
+    "KernelSpec",
     "MapStats",
+    "MarchPlan",
     "PLACEHOLDER_KEY",
     "PhongParams",
     "PixelRect",
@@ -51,6 +61,7 @@ __all__ = [
     "ReferenceResult",
     "RenderConfig",
     "TransferFunction1D",
+    "available_backends",
     "blend_background",
     "bone_tf",
     "box_contains",
@@ -75,6 +86,7 @@ __all__ = [
     "psnr",
     "ray_box_intersect",
     "raycast_brick",
+    "resolve_kernel",
     "render_reference",
     "rgba_to_rgb8",
     "rgba_view",

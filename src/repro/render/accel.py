@@ -12,6 +12,15 @@ orbit (same volume, same transfer function, new camera) unless cached:
   ray's sample interval *before* marching, cached under
   :func:`grid_key` (base key + macro-cell size).
 
+Both structures are built (and cached) by :func:`raycast_brick`
+*before* it dispatches to a march-kernel backend
+(:mod:`repro.render.kernels`), and the cache key deliberately contains
+no backend name: the tables are pure functions of ``(brick payload,
+transfer function)``, identical whichever backend consumes them, so a
+table warmed under ``kernel="numpy"`` is served verbatim to a later
+``kernel="numba"`` render (and vice versa) instead of being rebuilt
+per backend.
+
 :class:`AccelCache` is a byte-bounded LRU of both, keyed on
 ``(volume token, chunk id, transfer-function version)``:
 

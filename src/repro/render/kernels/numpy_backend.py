@@ -1,0 +1,147 @@
+"""The numpy march backend — the blocked vectorized fold, verbatim.
+
+This is the loop ``raycast_brick`` has always run (see the raycast
+module docstring for the blocked-march design), moved behind the
+:class:`~repro.render.kernels.KernelSpec` contract as a pure refactor:
+same arrays, same operation order, bitwise-identical output by
+construction.  It is the conformance oracle every other backend is
+tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compositing import segmented_exclusive_cumprod
+from ..raycast import _block_spans_flat, _trilinear_gather, _trilinear_prep
+from ..transfer import opacity_correction
+from . import KernelSpec, MarchPlan
+
+_F32 = np.float32
+
+
+def march(plan: MarchPlan) -> int:
+    """Run the blocked march; returns the owned-sample count."""
+    counts = plan.counts
+    t0_c = plan.t0
+    d_c = plan.dirs
+    base_w = plan.base_w
+    dt = _F32(plan.dt)
+    K = plan.block_size
+    use_ert = plan.use_ert
+    ert_alpha = _F32(plan.ert_alpha)
+    u_thr = plan.u_thr
+    skip_table = plan.skip_table
+    spans = plan.spans
+    flat = plan.flat
+    shape = plan.shape
+    need_clamp = plan.need_clamp
+    tf = plan.tf
+    acc_rgb_c = plan.acc_rgb
+    acc_a_c = plan.acc_a
+    term = plan.term
+    n_act = len(counts)
+    owned = 0
+
+    max_cnt = int(counts.max()) if n_act else 0
+    jb = 0
+    while jb < max_cnt:
+        alive = (counts > jb) & ~term
+        if not alive.any():
+            break
+        li = np.nonzero(alive)[0]
+        L = len(li)
+        cnt = np.minimum(counts[li] - jb, K)
+        m_all = int(cnt.sum())
+        # Every *owned* sample of the block is counted before any
+        # empty-space elision (table or grid) — the counters are part of
+        # the bitwise parity contract across accel modes and backends.
+        owned += m_all
+        if spans is None:
+            # Flat (ray, step) list straight from the ownership intervals.
+            rows = np.repeat(np.arange(L, dtype=np.int32), cnt)
+            off = np.zeros(L, dtype=np.int32)
+            np.cumsum(cnt[:-1], dtype=np.int32, out=off[1:])
+            j_flat = (np.arange(m_all, dtype=np.int32) - np.take(off, rows)) + np.int32(jb)
+        else:
+            # Grid-carved list: only samples inside occupied spans are
+            # positioned at all; rows/ordinals keep the uncarved order.
+            rows, j_flat = _block_spans_flat(spans, li, cnt, jb)
+            if len(rows) == 0:
+                jb += K
+                continue
+        t_flat = np.take(t0_c[li], rows) + j_flat * dt
+        drow = np.take(d_c[li], rows, axis=0)
+        cx = base_w[0] + t_flat * drow[:, 0]
+        cy = base_w[1] + t_flat * drow[:, 1]
+        cz = base_w[2] + t_flat * drow[:, 2]
+        base, fx, fy, fz = _trilinear_prep(shape, cx, cy, cz, clamp=need_clamp)
+
+        if skip_table is not None:
+            # The skip test indexes the table at the exact 2×2×2 support
+            # base the trilinear gather uses.
+            op = np.nonzero(np.take(skip_table, base))[0]
+            if len(op) != len(base):
+                base = np.take(base, op)
+                fx = np.take(fx, op)
+                fy = np.take(fy, op)
+                fz = np.take(fz, op)
+                rows = np.take(rows, op)
+                if plan.shading:
+                    cx = np.take(cx, op)
+                    cy = np.take(cy, op)
+                    cz = np.take(cz, op)
+                    drow = np.take(drow, op, axis=0)
+        if len(rows) == 0:
+            jb += K
+            continue
+
+        values = _trilinear_gather(flat, shape, base, fx, fy, fz)
+        u = tf.table_coord(values)
+        opq = np.nonzero(u > _F32(u_thr))[0] if u_thr >= 0 else np.arange(len(u))
+        if len(opq) == 0:
+            jb += K
+            continue
+        u_op = np.take(u, opq)
+        rows_op = np.take(rows, opq)
+        rgba = tf.lookup_from_u(u_op)
+        if plan.shading:
+            from ..shading import central_gradient, shade_phong
+
+            pos_op = np.stack(
+                [np.take(cx, opq), np.take(cy, opq), np.take(cz, opq)], axis=1
+            ) + _F32(0.5)
+            grads = central_gradient(plan.data, pos_op)
+            rgba[:, :3] = shade_phong(
+                rgba[:, :3], grads, np.take(drow, opq, axis=0)
+            )
+        a = opacity_correction(rgba[:, 3], plan.dt)
+
+        first = np.empty(len(rows_op), dtype=bool)
+        first[0] = True
+        np.not_equal(rows_op[1:], rows_op[:-1], out=first[1:])
+        trans = segmented_exclusive_cumprod(
+            _F32(1.0) - a, first, max_run=int(cnt.max())
+        )
+        w = trans * a
+        starts = np.nonzero(first)[0]
+        present = np.take(rows_op, starts)  # rows with ≥1 visible sample
+        t_prior = _F32(1.0) - acc_a_c[li]
+        contrib = np.add.reduceat(w[:, None] * rgba[:, :3], starts, axis=0)
+        lip = li[present]
+        acc_rgb_c[lip] += t_prior[present, None] * contrib
+        acc_a_c[lip] += t_prior[present] * np.add.reduceat(w, starts)
+
+        if use_ert:
+            done = acc_a_c[li] >= ert_alpha
+            if done.any():
+                term[li[done]] = True
+        jb += K
+    return owned
+
+
+def warmup() -> None:
+    """Nothing to compile for the numpy fold."""
+
+
+SPEC = KernelSpec(name="numpy", march=march, warmup=warmup)

@@ -104,10 +104,9 @@ from typing import Optional
 import numpy as np
 
 from .camera import Camera, PixelRect
-from .compositing import segmented_exclusive_cumprod
 from .fragments import PLACEHOLDER_KEY, empty_fragments, make_fragments
 from .geometry import dual_box_intersect_f32
-from .transfer import TransferFunction1D, opacity_correction
+from .transfer import TransferFunction1D
 
 __all__ = ["RenderConfig", "MapStats", "raycast_brick", "trilinear_sample"]
 
@@ -137,6 +136,15 @@ class RenderConfig:
     transparent spans before the march *and* keeps the corner-max table
     for the surviving samples; ``"table"`` is the per-sample corner-max
     probe alone; ``"off"`` disables both (the conformance oracle).
+
+    ``kernel`` selects the march backend behind the kernel contract
+    (:mod:`repro.render.kernels`): ``"numpy"`` is the blocked vectorized
+    fold (the oracle), ``"numba"`` the compiled per-ray JIT marcher, and
+    ``"auto"`` (default) prefers numba when importable, falling back to
+    numpy with a single warning.  Fragment keys, depths and all
+    ``MapStats`` counters are exact across backends; colors are
+    tolerance-banded (see the kernels package docstring).  The macro
+    grid / corner-max structures compose with every backend.
     """
 
     dt: float = 0.5
@@ -148,6 +156,7 @@ class RenderConfig:
     block_size: int = 8
     accel: str = "grid"
     macro_cell_size: int = 8
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.dt <= 0:
@@ -162,6 +171,8 @@ class RenderConfig:
             raise ValueError("accel must be one of 'grid', 'table', 'off'")
         if self.macro_cell_size < 1:
             raise ValueError("macro_cell_size must be at least 1")
+        if self.kernel not in ("auto", "numpy", "numba"):
+            raise ValueError("kernel must be one of 'auto', 'numpy', 'numba'")
 
     @property
     def fetches_per_sample(self) -> int:
@@ -695,7 +706,6 @@ def raycast_brick(
 
     K = config.block_size
     use_ert = config.ert_alpha < 1.0
-    ert_alpha = _F32(config.ert_alpha)
     flat = np.ascontiguousarray(data).ravel()
     shape = data.shape
     fetches = config.fetches_per_sample
@@ -759,100 +769,38 @@ def raycast_brick(
             grid_occ, config.macro_cell_size, base_w, d_c, t0_c, counts, config.dt
         )
 
-    max_cnt = int(counts.max()) if n_act else 0
-    jb = 0
-    while jb < max_cnt:
-        alive = (counts > jb) & ~term
-        if not alive.any():
-            break
-        li = np.nonzero(alive)[0]
-        L = len(li)
-        cnt = np.minimum(counts[li] - jb, K)
-        m_all = int(cnt.sum())
-        # Every *owned* sample of the block is counted before any
-        # empty-space elision (table or grid) — the counters are part of
-        # the bitwise parity contract across accel modes.
-        stats.n_samples += m_all * fetches
-        if spans is None:
-            # Flat (ray, step) list straight from the ownership intervals.
-            rows = np.repeat(np.arange(L, dtype=np.int32), cnt)
-            off = np.zeros(L, dtype=np.int32)
-            np.cumsum(cnt[:-1], dtype=np.int32, out=off[1:])
-            j_flat = (np.arange(m_all, dtype=np.int32) - np.take(off, rows)) + np.int32(jb)
-        else:
-            # Grid-carved list: only samples inside occupied spans are
-            # positioned at all; rows/ordinals keep the uncarved order.
-            rows, j_flat = _block_spans_flat(spans, li, cnt, jb)
-            if len(rows) == 0:
-                jb += K
-                continue
-        t_flat = np.take(t0_c[li], rows) + j_flat * dt
-        drow = np.take(d_c[li], rows, axis=0)
-        cx = base_w[0] + t_flat * drow[:, 0]
-        cy = base_w[1] + t_flat * drow[:, 1]
-        cz = base_w[2] + t_flat * drow[:, 2]
-        base, fx, fy, fz = _trilinear_prep(shape, cx, cy, cz, clamp=need_clamp)
+    # The march itself runs behind the kernel contract: the numpy
+    # backend is this function's original blocked fold moved verbatim
+    # (bitwise-identical), the numba backend a compiled per-ray marcher
+    # (exact keys/depths/counters, tolerance-banded colors — see the
+    # kernels package docstring).  Imported lazily: kernels imports this
+    # module's helpers at load time.
+    from .kernels import MarchPlan, resolve_kernel
 
-        if skip_table is not None:
-            # The skip test indexes the table at the exact 2×2×2 support
-            # base the trilinear gather uses.
-            op = np.nonzero(np.take(skip_table, base))[0]
-            if len(op) != len(base):
-                base = np.take(base, op)
-                fx = np.take(fx, op)
-                fy = np.take(fy, op)
-                fz = np.take(fz, op)
-                rows = np.take(rows, op)
-                if config.shading:
-                    cx = np.take(cx, op)
-                    cy = np.take(cy, op)
-                    cz = np.take(cz, op)
-                    drow = np.take(drow, op, axis=0)
-        if len(rows) == 0:
-            jb += K
-            continue
-
-        values = _trilinear_gather(flat, shape, base, fx, fy, fz)
-        u = tf.table_coord(values)
-        opq = np.nonzero(u > _F32(u_thr))[0] if u_thr >= 0 else np.arange(len(u))
-        if len(opq) == 0:
-            jb += K
-            continue
-        u_op = np.take(u, opq)
-        rows_op = np.take(rows, opq)
-        rgba = tf.lookup_from_u(u_op)
-        if config.shading:
-            from .shading import central_gradient, shade_phong
-
-            pos_op = np.stack(
-                [np.take(cx, opq), np.take(cy, opq), np.take(cz, opq)], axis=1
-            ) + _F32(0.5)
-            grads = central_gradient(data, pos_op)
-            rgba[:, :3] = shade_phong(
-                rgba[:, :3], grads, np.take(drow, opq, axis=0)
-            )
-        a = opacity_correction(rgba[:, 3], config.dt)
-
-        first = np.empty(len(rows_op), dtype=bool)
-        first[0] = True
-        np.not_equal(rows_op[1:], rows_op[:-1], out=first[1:])
-        trans = segmented_exclusive_cumprod(
-            _F32(1.0) - a, first, max_run=int(cnt.max())
-        )
-        w = trans * a
-        starts = np.nonzero(first)[0]
-        present = np.take(rows_op, starts)  # rows with ≥1 visible sample
-        t_prior = _F32(1.0) - acc_a_c[li]
-        contrib = np.add.reduceat(w[:, None] * rgba[:, :3], starts, axis=0)
-        lip = li[present]
-        acc_rgb_c[lip] += t_prior[present, None] * contrib
-        acc_a_c[lip] += t_prior[present] * np.add.reduceat(w, starts)
-
-        if use_ert:
-            done = acc_a_c[li] >= ert_alpha
-            if done.any():
-                term[li[done]] = True
-        jb += K
+    kspec = resolve_kernel(config.kernel)
+    plan = MarchPlan(
+        data=data,
+        flat=flat,
+        shape=shape,
+        need_clamp=need_clamp,
+        counts=counts,
+        t0=t0_c,
+        dirs=d_c,
+        base_w=base_w,
+        dt=float(config.dt),
+        block_size=K,
+        use_ert=use_ert,
+        ert_alpha=float(config.ert_alpha),
+        u_thr=float(u_thr),
+        skip_table=skip_table,
+        spans=spans,
+        tf=tf,
+        shading=config.shading,
+        acc_rgb=acc_rgb_c,
+        acc_a=acc_a_c,
+        term=term,
+    )
+    stats.n_samples += kspec.march(plan) * fetches
 
     # Expand to the full ray set and emit.
     acc_rgb = np.zeros((n, 3), dtype=_F32)

@@ -71,12 +71,14 @@ SCENES = {
 }
 
 
-def build_job(name, accel=None, macro_cell_size=8):
+def build_job(name, accel=None, macro_cell_size=8, kernel=None):
     """Renderer + camera + chunk placement for one golden scene.
 
     ``accel`` overrides the empty-space machinery; the fixtures were
     rendered once and every accel mode must reproduce them bitwise (the
-    macro grid's conservative-skip proof obligation).
+    macro grid's conservative-skip proof obligation).  ``kernel`` pins a
+    march-kernel backend (tests/test_kernels.py runs the matrix against
+    the numba backend, comparing within its documented color band).
     """
     s = SCENES[name]
     vol = make_dataset(s["dataset"], (s["size"],) * 3)
@@ -90,6 +92,8 @@ def build_job(name, accel=None, macro_cell_size=8):
     overrides = (
         {} if accel is None else {"accel": accel, "macro_cell_size": macro_cell_size}
     )
+    if kernel is not None:
+        overrides["kernel"] = kernel
     r = MapReduceVolumeRenderer(
         volume=vol,
         cluster=s["gpus"],
